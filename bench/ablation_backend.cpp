@@ -1,0 +1,94 @@
+// Ablation: MIP backend vs local-search backend (the paper's ReBalancer
+// choice, Section 6: "ReBalancer uses a MIP solver for RAS, but a
+// local-search-based solver for Shard Manager because Shard Manager needs to
+// perform near-realtime shard-to-container allocation in seconds").
+//
+// Same phase-1 problems solved by both backends: final objective and wall
+// time. The MIP should win on quality; local search should be competitive
+// and strictly time-bounded — the trade-off that made Facebook keep both.
+
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "src/core/initial_assignment.h"
+#include "src/core/local_search.h"
+#include "src/core/lp_rounding.h"
+
+using namespace ras;
+using namespace ras::bench;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: MIP vs local-search backend (ReBalancer's two solvers)",
+              "MIP for quality (RAS), local search for bounded latency (Shard Manager)");
+
+  std::printf("%-6s | %12s | %12s %8s | %12s %8s | %7s\n", "trial", "greedy obj", "mip obj",
+              "time(s)", "search obj", "time(s)", "mip adv");
+  double adv_sum = 0;
+  const int kTrials = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    FleetOptions fleet_options;
+    fleet_options.num_datacenters = 2;
+    fleet_options.msbs_per_datacenter = 4;
+    fleet_options.racks_per_msb = 6;
+    fleet_options.servers_per_rack = 8;
+    fleet_options.seed = 9000 + static_cast<uint64_t>(trial);
+    Fleet fleet = GenerateFleet(fleet_options);
+    ResourceBroker broker(&fleet.topology);
+    ReservationRegistry registry;
+    EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.02);
+    Rng rng(90 + static_cast<uint64_t>(trial));
+    auto profiles = MakePaperServiceProfiles();
+    for (int i = 0; i < 8; ++i) {
+      ReservationSpec spec;
+      spec.name = "svc-" + std::to_string(i);
+      spec.capacity_rru = rng.Uniform(20, 45);
+      spec.rru_per_type = BuildRruVector(fleet.catalog, profiles[static_cast<size_t>(i) % 5]);
+      (void)*registry.Create(spec);
+    }
+    SolveInput probe = SnapshotSolveInput(broker, registry, fleet.catalog);
+    for (size_t r = 0; r < probe.reservations.size() && r < 4; ++r) {
+      for (ServerId id = static_cast<ServerId>(r * 24); id < (r + 1) * 24; ++id) {
+        broker.SetCurrent(id, probe.reservations[r].id);
+      }
+    }
+    SolveInput input = SnapshotSolveInput(broker, registry, fleet.catalog);
+    auto classes = BuildEquivalenceClasses(input, Scope::kMsb);
+    SolverConfig config;
+    BuiltModel built = BuildRasModel(input, classes, config, false);
+    auto counts = BuildInitialCounts(input, classes, built);
+    auto warm = MakeWarmStart(input, classes, built, counts);
+    double greedy_obj = built.model.Objective(warm);
+
+    MipOptions mip_options = config.phase1_mip;
+    mip_options.heuristic = MakeLpRoundingHeuristic(input, classes, built);
+    double t0 = Now();
+    MipResult mip = MipSolver(mip_options).Solve(built.model, &warm);
+    double mip_time = Now() - t0;
+
+    LocalSearchOptions search_options;
+    search_options.time_limit_seconds = 2.0;
+    LocalSearchResult search =
+        LocalSearchOptimize(input, classes, built, counts, search_options);
+
+    double advantage = search.final_objective / std::max(mip.objective, 1e-9);
+    adv_sum += advantage;
+    std::printf("%-6d | %12.0f | %12.0f %8.2f | %12.0f %8.2f | %6.2fx\n", trial, greedy_obj,
+                mip.objective, mip_time, search.final_objective, search.seconds, advantage);
+  }
+  std::printf("\nmean local-search/MIP objective ratio: %.2fx (raw backends, same greedy\n"
+              "start). In production-shaped AsyncSolver runs the two compose: a short\n"
+              "local-search polish feeds the MIP its incumbent, so the shipped answer is\n"
+              "min(both) — the one-interface-many-backends design the paper credits to\n"
+              "ReBalancer.\n",
+              adv_sum / kTrials);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation: two-phase solving (Section 3.5.2, "Phased solving").
+//
+// Paper: phase 1 ignores rack goals region-wide; phase 2 re-solves at rack
+// granularity only for the worst ~10% of reservations. A single unphased
+// rack-granularity problem would be ~10x larger. This bench measures, on one
+// region: (a) the rack-overflow objective after phase 1 alone vs after both
+// phases, and (b) the variable counts of phase 1, phase 2, and a
+// hypothetical unphased rack-granularity solve.
+
+#include "bench/bench_common.h"
+#include "src/sim/scenario.h"
+
+using namespace ras;
+using namespace ras::bench;
+
+namespace {
+
+// Total rack-level overflow RRUs across reservations for the current targets.
+double RackOverflowOfTargets(const RegionScenario& sim, const SolverConfig& config) {
+  const RegionTopology& topo = sim.fleet.topology;
+  double total_overflow = 0.0;
+  for (const ReservationSpec* spec : sim.registry.AllSolvable()) {
+    std::map<RackId, double> rack_rru;
+    for (ServerId id = 0; id < sim.broker->num_servers(); ++id) {
+      if (sim.broker->record(id).target != spec->id) {
+        continue;
+      }
+      rack_rru[topo.server(id).rack] += spec->ValueOfType(topo.server(id).type);
+    }
+    double alpha_k = config.rack_alpha_factor / static_cast<double>(topo.num_racks());
+    double threshold = std::max(alpha_k * spec->capacity_rru, config.min_spread_threshold_rru);
+    for (const auto& [rack, rru] : rack_rru) {
+      total_overflow += std::max(0.0, rru - threshold);
+    }
+  }
+  return total_overflow;
+}
+
+ScenarioOptions MakeOptions(bool enable_phase2) {
+  ScenarioOptions options;
+  options.fleet.num_datacenters = 2;
+  options.fleet.msbs_per_datacenter = 4;
+  options.fleet.racks_per_msb = 8;
+  options.fleet.servers_per_rack = 8;
+  options.fleet.seed = 4242;
+  if (!enable_phase2) {
+    options.solver.phase2_reservation_percent = 0.0;  // Effectively disables it...
+    options.solver.phase2_max_assignment_vars = 1;    // ...belt and braces.
+  }
+  return options;
+}
+
+void RunVariant(bool enable_phase2, double* overflow, size_t* p1_vars, size_t* p2_vars) {
+  RegionScenario sim(MakeOptions(enable_phase2));
+  Rng rng(424242);
+  for (int i = 0; i < 8; ++i) {
+    ReservationSpec spec;
+    spec.name = "svc-" + std::to_string(i);
+    spec.capacity_rru = rng.Uniform(25, 50);
+    spec.rru_per_type.assign(sim.fleet.catalog.size(), 1.0);
+    (void)*sim.registry.Create(spec);
+  }
+  auto stats = sim.SolveRound();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "solve failed\n");
+    exit(1);
+  }
+  *overflow = RackOverflowOfTargets(sim, sim.solver.config());
+  *p1_vars = stats->phase1.assignment_variables;
+  *p2_vars = stats->phase2.ran ? stats->phase2.assignment_variables : 0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: two-phase solving — rack objective and problem size",
+              "phase 2 fixes the worst rack offenders; unphased rack-granularity is ~10x bigger");
+
+  double overflow_p1only = 0, overflow_both = 0;
+  size_t p1_vars = 0, p2_vars = 0, dummy1 = 0, dummy2 = 0;
+  RunVariant(false, &overflow_p1only, &p1_vars, &dummy1);
+  RunVariant(true, &overflow_both, &dummy2, &p2_vars);
+
+  std::printf("rack-overflow RRUs after phase 1 only:   %8.1f\n", overflow_p1only);
+  std::printf("rack-overflow RRUs after both phases:    %8.1f  (%.0f%% reduction)\n",
+              overflow_both,
+              100.0 * (1.0 - overflow_both / std::max(overflow_p1only, 1e-9)));
+
+  // Hypothetical single-phase problem: rack-granularity classes for ALL
+  // reservations at once.
+  RegionScenario sim(MakeOptions(true));
+  Rng rng(424242);
+  for (int i = 0; i < 8; ++i) {
+    ReservationSpec spec;
+    spec.name = "svc-" + std::to_string(i);
+    spec.capacity_rru = rng.Uniform(25, 50);
+    spec.rru_per_type.assign(sim.fleet.catalog.size(), 1.0);
+    (void)*sim.registry.Create(spec);
+  }
+  SolveInput input = SnapshotSolveInput(*sim.broker, sim.registry, sim.fleet.catalog);
+  auto rack_classes = BuildEquivalenceClasses(input, Scope::kRack);
+  BuiltModel unphased = BuildRasModel(input, rack_classes, sim.solver.config(),
+                                      /*include_rack_spread=*/true);
+  std::printf("\nassignment variables: phase 1 = %zu, phase 2 subset = %zu, hypothetical\n"
+              "unphased rack-granularity = %zu (%.1fx phase 1) — the blowup two-phase\n"
+              "solving avoids (paper: >=10x).\n",
+              p1_vars, p2_vars, unphased.num_assignment_variables(),
+              static_cast<double>(unphased.num_assignment_variables()) /
+                  static_cast<double>(std::max<size_t>(1, p1_vars)));
+  return 0;
+}

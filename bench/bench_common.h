@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benches.
+
+#ifndef RAS_BENCH_BENCH_COMMON_H_
+#define RAS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/ras.h"
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace bench {
+
+// A count-based reservation accepting every hardware type.
+inline ReservationSpec CountReservation(const HardwareCatalog& catalog, const std::string& name,
+                                        double capacity) {
+  ReservationSpec spec;
+  spec.name = name;
+  spec.capacity_rru = capacity;
+  spec.rru_per_type.assign(catalog.size(), 1.0);
+  return spec;
+}
+
+inline void PrintHeader(const char* figure, const char* claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", claim);
+  std::printf("==============================================================================\n");
+}
+
+// Simple fixed-width series printer: "label  v1 v2 v3 ...".
+inline void PrintSeries(const char* label, const std::vector<double>& values,
+                        const char* fmt = "%8.2f") {
+  std::printf("%-28s", label);
+  for (double v : values) {
+    std::printf(fmt, v);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace ras
+
+#endif  // RAS_BENCH_BENCH_COMMON_H_

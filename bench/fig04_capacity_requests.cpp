@@ -1,0 +1,82 @@
+// Figure 4: requested capacity vs the number of hardware types that can
+// fulfill it.
+//
+// Paper: requests span 1 to >10,000 units (log scale); the majority sit in
+// the few-hundred-to-few-thousand band; the fan-out over acceptable hardware
+// types is trimodal (1 type = latest generation only, a dominant ~8-type
+// mode, and a small 10-12-type tail). We draw 2,000 synthetic requests and
+// print the same scatter as a (fan-out x size-decade) count table.
+
+#include <array>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/fleet/request_gen.h"
+#include "src/util/stats.h"
+
+using namespace ras;
+using namespace ras::bench;
+
+int main() {
+  PrintHeader("Figure 4: Requested capacity vs #hardware types that can fulfill it",
+              "sizes 1..30k units log-scale, majority a few hundred to a few thousand; "
+              "trimodal type fan-out");
+
+  HardwareCatalog catalog = MakePaperCatalog();
+  RequestGenOptions options;
+  options.count = 2000;
+  options.seed = 4;
+  auto requests = GenerateRequests(catalog, options);
+
+  // Rows: size decades. Columns: acceptable-type count.
+  const char* decade_names[] = {"1-9", "10-99", "100-999", "1k-9.9k", "10k+"};
+  std::map<size_t, std::array<int, 5>> table;  // fan-out -> per-decade counts.
+  for (const auto& r : requests) {
+    int decade = 0;
+    if (r.units >= 10000) {
+      decade = 4;
+    } else if (r.units >= 1000) {
+      decade = 3;
+    } else if (r.units >= 100) {
+      decade = 2;
+    } else if (r.units >= 10) {
+      decade = 1;
+    }
+    auto [it, inserted] = table.try_emplace(r.acceptable_types.size());
+    if (inserted) {
+      it->second = {0, 0, 0, 0, 0};
+    }
+    it->second[static_cast<size_t>(decade)]++;
+  }
+
+  std::printf("%-12s", "types\\units");
+  for (const char* d : decade_names) {
+    std::printf("%10s", d);
+  }
+  std::printf("%10s\n", "total");
+  for (const auto& [fanout, counts] : table) {
+    std::printf("%-12zu", fanout);
+    int total = 0;
+    for (int c : counts) {
+      std::printf("%10d", c);
+      total += c;
+    }
+    std::printf("%10d\n", total);
+  }
+
+  std::vector<double> sizes;
+  for (const auto& r : requests) {
+    sizes.push_back(r.units);
+  }
+  std::printf("\nsize percentiles: p10=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+              Percentile(sizes, 10), Percentile(sizes, 50), Percentile(sizes, 90),
+              Percentile(sizes, 99), Percentile(sizes, 100));
+  int single = 0, wide = 0;
+  for (const auto& r : requests) {
+    single += r.acceptable_types.size() == 1;
+    wide += r.acceptable_types.size() >= 10;
+  }
+  std::printf("single-type (latest-gen-only) requests: %.0f%%; 10+ type requests: %.0f%%\n",
+              100.0 * single / requests.size(), 100.0 * wide / requests.size());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 7: RAS regional allocation time distribution.
+//
+// Paper: over three months of production solves on a region with several
+// hundred thousand servers, allocation time is tightly distributed — mean
+// 1.8ks, p95 2.2ks, p99 2.45ks — comfortably inside the one-hour SLO,
+// because the hardware pool changes only moderately between solves.
+//
+// Here: 40 consecutive solves of one synthetic region, with realistic churn
+// between solves (capacity resizes, random failures/recoveries), each
+// materialized before the next. The reproduced claim is the *tightness*
+// (p99/mean ratio ~1.4) and staying inside the configured SLO; absolute
+// times are laptop-scale seconds, not production kiloseconds.
+
+#include "bench/bench_common.h"
+#include "src/util/stats.h"
+
+using namespace ras;
+using namespace ras::bench;
+
+int main() {
+  PrintHeader("Figure 7: allocation time distribution over consecutive solves",
+              "mean 1.8ks, p95 2.2ks, p99 2.45ks, all under the 1-hour SLO (ratios: "
+              "p95/mean=1.22, p99/mean=1.36)");
+
+  FleetOptions fleet_options;
+  fleet_options.num_datacenters = 3;
+  fleet_options.msbs_per_datacenter = 4;
+  fleet_options.racks_per_msb = 5;
+  fleet_options.servers_per_rack = 10;
+  fleet_options.seed = 777;
+  Fleet fleet = GenerateFleet(fleet_options);  // 1,800 servers.
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.02);
+
+  Rng rng(7070);
+  auto profiles = MakePaperServiceProfiles();
+  std::vector<ReservationId> services;
+  for (int i = 0; i < 12; ++i) {
+    const ServiceProfile& p = profiles[static_cast<size_t>(i) % profiles.size()];
+    ReservationSpec spec;
+    spec.name = p.name + "-" + std::to_string(i);
+    spec.capacity_rru = rng.Uniform(60, 220);
+    spec.rru_per_type = BuildRruVector(fleet.catalog, p);
+    services.push_back(*registry.Create(spec));
+  }
+
+  AsyncSolver solver;
+  const double slo_seconds = solver.config().phase1_mip.time_limit_seconds +
+                             solver.config().phase2_mip.time_limit_seconds;
+
+  std::vector<double> times;
+  const int kSolves = 30;
+  for (int s = 0; s < kSolves; ++s) {
+    auto stats = solver.SolveOnce(broker, registry, fleet.catalog);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "solve %d failed: %s\n", s, stats.status().ToString().c_str());
+      return 1;
+    }
+    times.push_back(stats->total_seconds);
+    // Materialize and churn moderately, like production between solves.
+    for (ServerId id = 0; id < broker.num_servers(); ++id) {
+      broker.SetCurrent(id, broker.record(id).target);
+    }
+    for (int k = 0; k < 2; ++k) {
+      size_t which = static_cast<size_t>(rng.UniformInt(0, 11));
+      ReservationSpec spec = *registry.Find(services[which]);
+      spec.capacity_rru = std::max(30.0, spec.capacity_rru * rng.Uniform(0.92, 1.1));
+      (void)registry.Update(spec);
+    }
+    for (int k = 0; k < 5; ++k) {
+      ServerId victim = static_cast<ServerId>(
+          rng.UniformInt(0, static_cast<int64_t>(broker.num_servers()) - 1));
+      broker.SetUnavailability(victim, rng.Bernoulli(0.5)
+                                           ? Unavailability::kUnplannedHardware
+                                           : Unavailability::kNone);
+    }
+  }
+
+  double mean = Mean(times);
+  double p50 = Percentile(times, 50);
+  double p95 = Percentile(times, 95);
+  double p99 = Percentile(times, 99);
+  std::printf("\n%d solves: mean=%.3fs p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n", kSolves,
+              mean, p50, p95, p99, Percentile(times, 100));
+  std::printf("ratios: p95/mean=%.2f (paper 1.22)  p99/mean=%.2f (paper 1.36)\n", p95 / mean,
+              p99 / mean);
+  std::printf("SLO (configured MIP budget %.0fs): %s\n", slo_seconds,
+              Percentile(times, 100) <= slo_seconds ? "all solves within SLO"
+                                                    : "SLO EXCEEDED");
+  Histogram hist(0, Percentile(times, 100) * 1.05 + 1e-9, 12);
+  for (double t : times) {
+    hist.Add(t);
+  }
+  std::printf("\ndistribution (seconds):\n%s", hist.ToString().c_str());
+  return 0;
+}

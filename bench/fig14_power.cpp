@@ -1,0 +1,103 @@
+// Figure 14: power-usage variance across MSBs as RAS rolls out.
+//
+// Paper: over four months of progressive enablement, RAS's spread objectives
+// cut the normalized power variance across MSBs from ~0.9 to ~0.2, and lift
+// the hottest MSB's power headroom from near zero to 11% — the same rules
+// that improve failure-domain spread balance power.
+//
+// Here: a region starts with every service greedily packed into the oldest
+// MSBs (hot) and is migrated to RAS over four simulated months; each month
+// we print the power variance normalized to month 0 and the hottest MSB's
+// headroom. Running containers load each service's servers so power tracks
+// placement.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/sim/scenario.h"
+
+using namespace ras;
+using namespace ras::bench;
+
+int main() {
+  PrintHeader("Figure 14: normalized power variance across MSBs over four months",
+              "variance ~0.9 -> ~0.2; hottest-MSB headroom ~0% -> 11%");
+
+  ScenarioOptions options;
+  options.fleet.num_datacenters = 2;
+  options.fleet.msbs_per_datacenter = 6;
+  options.fleet.racks_per_msb = 8;
+  options.fleet.servers_per_rack = 8;
+  options.fleet.seed = 1414;
+  RegionScenario sim(options);
+  Rng rng(141414);
+
+  // Ten legacy services, greedily packed (deployment order => oldest MSBs).
+  std::vector<ReservationId> services;
+  std::vector<HardwareTypeId> any;
+  for (size_t t = 0; t < sim.fleet.catalog.size(); ++t) {
+    any.push_back(static_cast<HardwareTypeId>(t));
+  }
+  for (int i = 0; i < 10; ++i) {
+    ReservationSpec spec;
+    spec.name = "svc-" + std::to_string(i);
+    spec.capacity_rru = rng.Uniform(30, 55);
+    spec.rru_per_type.assign(sim.fleet.catalog.size(), 1.0);
+    spec.externally_managed = true;
+    ReservationId id = *sim.registry.Create(spec);
+    services.push_back(id);
+    sim.greedy->Grow(id, any, static_cast<size_t>(spec.capacity_rru * 1.1));
+    // Load the service: containers make its servers draw full power.
+    JobSpec job;
+    job.name = spec.name + "-job";
+    job.reservation = id;
+    job.container = ContainerSpec{24.0, 48.0};
+    job.replicas = static_cast<int>(spec.capacity_rru);
+    (void)*sim.twine->SubmitJob(job);
+  }
+
+  auto hottest_headroom = [&sim]() {
+    const RegionTopology& topo = sim.fleet.topology;
+    std::vector<double> peak(topo.num_msbs(), 0.0);
+    for (const Server& s : topo.servers()) {
+      peak[s.msb] += sim.fleet.catalog.type(s.type).power_watts;
+    }
+    std::vector<double> draw = sim.MsbPowerDraw();
+    double min_headroom = 1.0;
+    for (size_t m = 0; m < draw.size(); ++m) {
+      if (peak[m] > 0) {
+        min_headroom = std::min(min_headroom, 1.0 - draw[m] / peak[m]);
+      }
+    }
+    return min_headroom;
+  };
+
+  double baseline_variance = sim.PowerUtilizationVariance();
+  std::printf("%-8s %10s %20s %18s\n", "month", "ras-svcs", "normalized variance",
+              "hottest headroom%");
+  std::printf("%-8d %10d %20.2f %18.1f\n", 0, 0, 1.0, 100.0 * hottest_headroom());
+
+  size_t migrated = 0;
+  for (int month = 1; month <= 4; ++month) {
+    // Migrate ~a third of the remaining services each month.
+    size_t to_migrate = month == 4 ? services.size() - migrated : services.size() / 3;
+    for (size_t k = 0; k < to_migrate && migrated < services.size(); ++k, ++migrated) {
+      ReservationSpec spec = *sim.registry.Find(services[migrated]);
+      spec.externally_managed = false;
+      (void)sim.registry.Update(spec);
+    }
+    // Two solve rounds per month (the continuous hourly loop, compressed).
+    for (int round = 0; round < 2; ++round) {
+      auto stats = sim.SolveRound();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "solve failed in month %d\n", month);
+        return 1;
+      }
+    }
+    std::printf("%-8d %10zu %20.2f %18.1f\n", month, migrated,
+                sim.PowerUtilizationVariance() / std::max(baseline_variance, 1e-12),
+                100.0 * hottest_headroom());
+  }
+  std::printf("\n(paper: variance 0.9 -> 0.2 normalized, headroom ~0%% -> 11%%)\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Figure 16: weekly in-use vs unused server-move churn.
+//
+// Paper: continuous re-optimization moves servers between reservations, but
+// Expression (1)'s 10x cheaper penalty for container-free servers makes the
+// solver draw moves from the idle ~20% of the fleet: the hourly rate of
+// unused moves is 10.6x the in-use rate, with spikes during working hours
+// (engineer-driven capacity requests) and a failure-driven trickle off-hours.
+//
+// Here: one simulated week with a diurnal capacity-request pattern, health
+// events, 4-hourly solves, and hourly reconciliation; we print the hourly
+// move percentages by tier and the overall unused/in-use ratio.
+
+#include "bench/bench_common.h"
+#include "src/sim/scenario.h"
+#include "src/util/stats.h"
+
+using namespace ras;
+using namespace ras::bench;
+
+int main() {
+  PrintHeader("Figure 16: hourly server moves, in-use vs unused, over one week",
+              "unused-move rate ~10.6x the in-use rate; spikes during working hours");
+
+  ScenarioOptions options;
+  options.fleet.num_datacenters = 2;
+  options.fleet.msbs_per_datacenter = 4;
+  options.fleet.racks_per_msb = 5;
+  options.fleet.servers_per_rack = 10;
+  options.fleet.seed = 1616;
+  RegionScenario sim(options);
+  const double fleet_size = static_cast<double>(sim.broker->num_servers());
+
+  // Eight services; each runs containers on ~75% of its servers, matching
+  // the paper's "~80% of servers run containers... RAS is able to meet most
+  // placement objectives by selecting moves from the remaining 20%".
+  std::vector<ReservationId> services;
+  std::vector<double> base_capacity;
+  for (int i = 0; i < 8; ++i) {
+    ReservationSpec spec;
+    spec.name = "svc-" + std::to_string(i);
+    spec.capacity_rru = 28 + 4 * i;
+    spec.rru_per_type.assign(sim.fleet.catalog.size(), 1.0);
+    services.push_back(*sim.registry.Create(spec));
+    base_capacity.push_back(spec.capacity_rru);
+  }
+  if (!sim.SolveRound().ok()) {
+    std::fprintf(stderr, "initial solve failed\n");
+    return 1;
+  }
+  for (size_t i = 0; i < services.size(); ++i) {
+    JobSpec job;
+    job.name = "job-" + std::to_string(i);
+    job.reservation = services[i];
+    job.container = ContainerSpec{24.0, 48.0};
+    job.replicas = static_cast<int>(base_capacity[i] * 0.75);
+    (void)*sim.twine->SubmitJob(job);
+  }
+  // Settle: a few solve rounds absorb the initial placement transient so the
+  // measured week reflects steady-state churn, then reset the counters.
+  for (int round = 0; round < 3; ++round) {
+    (void)sim.SolveRound();
+  }
+  sim.mover->ResetStats();
+  sim.ArmHealth(Weeks(1));
+
+  // Hourly loop with 4-hourly solves; capacity churn only in working hours.
+  struct HourSample {
+    double in_use_pct;
+    double unused_pct;
+  };
+  std::vector<HourSample> samples;
+  size_t prev_in_use = 0, prev_idle = 0;
+  const char* days[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  for (int hour = 0; hour < 7 * 24; ++hour) {
+    SimTime now = SimTime{static_cast<int64_t>(hour) * 3600};
+    sim.health->AdvanceTo(now);
+    int hour_of_day = hour % 24;
+    int day = hour / 24;
+    bool working_hours = day < 5 && hour_of_day >= 9 && hour_of_day < 18;
+    if (working_hours && sim.rng.Bernoulli(0.6)) {
+      // An engineer resizes a capacity request.
+      size_t which = static_cast<size_t>(sim.rng.UniformInt(0, 7));
+      ReservationSpec spec = *sim.registry.Find(services[which]);
+      spec.capacity_rru =
+          std::max(15.0, base_capacity[which] * sim.rng.Uniform(0.9, 1.25));
+      (void)sim.registry.Update(spec);
+    }
+    if (hour % 4 == 0) {
+      (void)sim.SolveRound();
+    } else {
+      sim.mover->ReconcileAll();
+      sim.twine->RetryPending();
+    }
+    const MoverStats& stats = sim.mover->stats();
+    samples.push_back(HourSample{
+        100.0 * static_cast<double>(stats.in_use_moves - prev_in_use) / fleet_size,
+        100.0 * static_cast<double>(stats.idle_moves - prev_idle) / fleet_size});
+    prev_in_use = stats.in_use_moves;
+    prev_idle = stats.idle_moves;
+  }
+
+  // Daily aggregates (hourly print would be 168 lines).
+  std::printf("%-6s %16s %16s\n", "day", "in-use moves/h%", "unused moves/h%");
+  for (int day = 0; day < 7; ++day) {
+    double in_use = 0, unused = 0;
+    for (int h = 0; h < 24; ++h) {
+      in_use += samples[static_cast<size_t>(day * 24 + h)].in_use_pct;
+      unused += samples[static_cast<size_t>(day * 24 + h)].unused_pct;
+    }
+    std::printf("%-6s %16.3f %16.3f\n", days[day], in_use / 24, unused / 24);
+  }
+
+  double total_in_use = 0, total_unused = 0, work_unused = 0, off_unused = 0;
+  for (size_t h = 0; h < samples.size(); ++h) {
+    total_in_use += samples[h].in_use_pct;
+    total_unused += samples[h].unused_pct;
+    int day = static_cast<int>(h) / 24;
+    int hod = static_cast<int>(h) % 24;
+    if (day < 5 && hod >= 9 && hod < 18) {
+      work_unused += samples[h].unused_pct;
+    } else {
+      off_unused += samples[h].unused_pct;
+    }
+  }
+  double work_hours = 5 * 9, off_hours = 168 - work_hours;
+  std::printf("\nweekly: unused/in-use move ratio = %.1fx (paper: 10.6x)\n",
+              total_unused / std::max(total_in_use, 1e-9));
+  std::printf("working-hours unused rate %.3f%%/h vs off-hours %.3f%%/h "
+              "(diurnal spike, paper's shape)\n",
+              work_unused / work_hours, off_unused / off_hours);
+  return 0;
+}

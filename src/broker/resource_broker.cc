@@ -1,0 +1,124 @@
+#include "src/broker/resource_broker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ras {
+
+bool IsUnplanned(Unavailability u) {
+  return u == Unavailability::kUnplannedSoftware || u == Unavailability::kUnplannedHardware;
+}
+
+ResourceBroker::ResourceBroker(const RegionTopology* topology) : topology_(topology) {
+  assert(topology != nullptr && topology->finalized());
+  records_.resize(topology->num_servers());
+  auto& free_pool = by_reservation_[kUnassigned];
+  free_pool.reserve(records_.size());
+  for (ServerId id = 0; id < records_.size(); ++id) {
+    records_[id].server = id;
+    free_pool.push_back(id);
+  }
+}
+
+void ResourceBroker::SetTarget(ServerId id, ReservationId target) {
+  ServerRecord& r = records_[id];
+  if (r.target == target) {
+    return;
+  }
+  r.target = target;
+  ++r.version;
+  Notify(id);
+}
+
+void ResourceBroker::SetCurrent(ServerId id, ReservationId current) {
+  ServerRecord& r = records_[id];
+  if (r.current == current) {
+    return;
+  }
+  IndexRemove(r.current, id);
+  r.current = current;
+  IndexAdd(current, id);
+  ++r.version;
+  Notify(id);
+}
+
+void ResourceBroker::SetElasticLoan(ServerId id, ReservationId home, bool loaned) {
+  ServerRecord& r = records_[id];
+  r.home = home;
+  r.elastic_loan = loaned;
+  ++r.version;
+  Notify(id);
+}
+
+void ResourceBroker::SetUnavailability(ServerId id, Unavailability u) {
+  ServerRecord& r = records_[id];
+  if (r.unavailability == u) {
+    return;
+  }
+  r.unavailability = u;
+  ++r.version;
+  Notify(id);
+}
+
+void ResourceBroker::SetHasContainers(ServerId id, bool has) {
+  ServerRecord& r = records_[id];
+  if (r.has_containers == has) {
+    return;
+  }
+  r.has_containers = has;
+  ++r.version;
+  Notify(id);
+}
+
+const std::vector<ServerId>& ResourceBroker::ServersInReservation(
+    ReservationId reservation) const {
+  auto it = by_reservation_.find(reservation);
+  return it == by_reservation_.end() ? empty_ : it->second;
+}
+
+size_t ResourceBroker::CountInReservation(ReservationId reservation) const {
+  return ServersInReservation(reservation).size();
+}
+
+std::vector<ServerId> ResourceBroker::PendingMoves() const {
+  std::vector<ServerId> pending;
+  for (const ServerRecord& r : records_) {
+    if (r.current != r.target) {
+      pending.push_back(r.server);
+    }
+  }
+  return pending;
+}
+
+int ResourceBroker::Subscribe(Watcher watcher) {
+  int handle = next_watcher_++;
+  watchers_[handle] = std::move(watcher);
+  return handle;
+}
+
+void ResourceBroker::Unsubscribe(int handle) { watchers_.erase(handle); }
+
+void ResourceBroker::Notify(ServerId id) {
+  for (auto& [handle, watcher] : watchers_) {
+    watcher(records_[id]);
+  }
+}
+
+void ResourceBroker::IndexRemove(ReservationId reservation, ServerId id) {
+  auto it = by_reservation_.find(reservation);
+  if (it == by_reservation_.end()) {
+    return;
+  }
+  auto& vec = it->second;
+  auto pos = std::find(vec.begin(), vec.end(), id);
+  if (pos != vec.end()) {
+    *pos = vec.back();
+    vec.pop_back();
+  }
+}
+
+void ResourceBroker::IndexAdd(ReservationId reservation, ServerId id) {
+  by_reservation_[reservation].push_back(id);
+}
+
+}  // namespace ras

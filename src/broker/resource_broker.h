@@ -1,0 +1,100 @@
+// Resource Broker: the region's source of truth for server-to-reservation
+// bindings (Figure 6, bottom).
+//
+// Each server carries a *current* binding (what the Online Mover has
+// materialized), a *target* binding (the Async Solver's latest intent), an
+// unavailability field maintained by the Health Check Service, and elastic
+// loan state. Watchers (the Twine allocator and Online Mover in production)
+// subscribe to record changes.
+//
+// The production broker is highly-available replicated storage; durability is
+// orthogonal to the allocation behaviour reproduced here, so this is a
+// versioned in-memory store with the same interface shape.
+
+#ifndef RAS_SRC_BROKER_RESOURCE_BROKER_H_
+#define RAS_SRC_BROKER_RESOURCE_BROKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/topology/topology.h"
+#include "src/util/status.h"
+
+namespace ras {
+
+using ReservationId = uint32_t;
+inline constexpr ReservationId kUnassigned = 0xffffffff;
+
+enum class Unavailability : uint8_t {
+  kNone = 0,
+  kPlannedMaintenance,   // Usable capacity for solver purposes (Section 3.5.1).
+  kUnplannedSoftware,    // Short-lived software failure.
+  kUnplannedHardware,    // Long-lived hardware failure / repair.
+};
+
+bool IsUnplanned(Unavailability u);
+
+struct ServerRecord {
+  ServerId server = kInvalidServer;
+  // Materialized binding: the reservation whose containers may use this
+  // server right now. kUnassigned = region free pool.
+  ReservationId current = kUnassigned;
+  // Solver intent; the Online Mover converges current toward target.
+  ReservationId target = kUnassigned;
+  // When this server is loaned out as elastic capacity, `home` remembers the
+  // guaranteed reservation it must be returned to on revocation.
+  ReservationId home = kUnassigned;
+  bool elastic_loan = false;
+  Unavailability unavailability = Unavailability::kNone;
+  // Maintained by the container allocator; feeds the stability objective's
+  // in-use / idle movement-cost tiers.
+  bool has_containers = false;
+  uint64_t version = 0;
+};
+
+class ResourceBroker {
+ public:
+  explicit ResourceBroker(const RegionTopology* topology);
+
+  const RegionTopology& topology() const { return *topology_; }
+  size_t num_servers() const { return records_.size(); }
+  const ServerRecord& record(ServerId id) const { return records_[id]; }
+
+  // --- Mutations (bump the record version and notify watchers) ---
+  void SetTarget(ServerId id, ReservationId target);
+  void SetCurrent(ServerId id, ReservationId current);
+  void SetElasticLoan(ServerId id, ReservationId home, bool loaned);
+  void SetUnavailability(ServerId id, Unavailability u);
+  void SetHasContainers(ServerId id, bool has);
+
+  // --- Queries ---
+  // Servers currently bound to `reservation` (kUnassigned = free pool).
+  const std::vector<ServerId>& ServersInReservation(ReservationId reservation) const;
+  size_t CountInReservation(ReservationId reservation) const;
+  // All servers whose current != target, i.e. pending Online Mover work.
+  std::vector<ServerId> PendingMoves() const;
+
+  // --- Watchers ---
+  using Watcher = std::function<void(const ServerRecord&)>;
+  int Subscribe(Watcher watcher);
+  void Unsubscribe(int handle);
+
+ private:
+  void Notify(ServerId id);
+  void IndexRemove(ReservationId reservation, ServerId id);
+  void IndexAdd(ReservationId reservation, ServerId id);
+
+  const RegionTopology* topology_;
+  std::vector<ServerRecord> records_;
+  // current-binding index; key kUnassigned holds the free pool.
+  std::unordered_map<ReservationId, std::vector<ServerId>> by_reservation_;
+  std::unordered_map<int, Watcher> watchers_;
+  int next_watcher_ = 1;
+  std::vector<ServerId> empty_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_BROKER_RESOURCE_BROKER_H_

@@ -1,0 +1,43 @@
+// Capacity-request admission: validate a reservation spec against the
+// region's actual hardware before it enters the registry, with actionable
+// rejection messages (the Section 5.3 lesson: "when a capacity request gets
+// rejected due to some requirements not being met, the rejection message
+// needs to explain the reason; otherwise it is not actionable").
+//
+// The check is deliberately conservative-but-fast: it asks whether the
+// request could be satisfied if it were alone on the free + reclaimable
+// capacity, accounting for the embedded correlated-failure buffer via the
+// same waterfill bound the solver's Expression (6) implies.
+
+#ifndef RAS_SRC_CORE_ADMISSION_H_
+#define RAS_SRC_CORE_ADMISSION_H_
+
+#include <string>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/reservation.h"
+
+namespace ras {
+
+struct AdmissionReport {
+  bool grantable = false;
+  // Total RRUs the region's hardware could contribute to this request.
+  double available_rru = 0.0;
+  // RRUs needed including the embedded buffer implied by the spread of the
+  // compatible hardware (capacity + worst-MSB exposure).
+  double required_rru = 0.0;
+  size_t compatible_servers = 0;
+  size_t compatible_msbs = 0;
+  // Human-readable explanation; on rejection, says what is missing.
+  std::string message;
+};
+
+// Checks `spec` against all servers in the topology (an upper bound on what
+// any solve could deliver). Use before ReservationRegistry::Create to give
+// requesters an actionable yes/no.
+AdmissionReport CheckGrantable(const ReservationSpec& spec, const RegionTopology& topology,
+                               const HardwareCatalog& catalog);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_ADMISSION_H_

@@ -1,0 +1,57 @@
+#include "src/core/assignment_decoder.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ras {
+
+DecodedAssignment DecodeAssignment(const SolveInput& input,
+                                   const std::vector<EquivalenceClass>& classes,
+                                   const BuiltModel& built, const std::vector<double>& solution) {
+  DecodedAssignment out;
+  assert(solution.size() == built.model.num_variables());
+
+  for (size_t c = 0; c < classes.size(); ++c) {
+    const EquivalenceClass& cls = classes[c];
+    // Quotas for this class: (reservation id, rounded count).
+    std::vector<std::pair<ReservationId, long>> quotas;
+    long keep_in_place = 0;
+    for (int var_index : built.class_to_vars[c]) {
+      const auto& av = built.assignment_vars[static_cast<size_t>(var_index)];
+      long n = std::lround(solution[av.var]);
+      if (n <= 0) {
+        continue;
+      }
+      ReservationId res = input.reservations[static_cast<size_t>(av.reservation_index)].id;
+      if (res == cls.current) {
+        keep_in_place = n;
+      } else {
+        quotas.push_back({res, n});
+      }
+    }
+
+    // Stable walk over the class's servers: the first `keep_in_place` stay,
+    // the rest drain into other quotas, leftovers return to the free pool.
+    size_t next = 0;
+    for (; next < cls.servers.size() && keep_in_place > 0; ++next, --keep_in_place) {
+      out.targets.push_back({cls.servers[next], cls.current});
+    }
+    for (auto& [res, quota] : quotas) {
+      for (; next < cls.servers.size() && quota > 0; ++next, --quota) {
+        out.targets.push_back({cls.servers[next], res});
+        ++out.moves_total;
+        (cls.in_use ? out.moves_in_use : out.moves_idle)++;
+      }
+    }
+    for (; next < cls.servers.size(); ++next) {
+      out.targets.push_back({cls.servers[next], kUnassigned});
+      if (cls.current != kUnassigned) {
+        ++out.moves_total;
+        (cls.in_use ? out.moves_in_use : out.moves_idle)++;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ras

@@ -1,0 +1,38 @@
+// Decodes a solved MIP (class-level integer counts) back into concrete
+// per-server target bindings (Figure 6, step 3: the solve result persisted to
+// the Resource Broker's target field).
+//
+// Within an equivalence class every server is interchangeable by
+// construction, so the decoder's only job is to minimize churn: servers whose
+// current binding matches a quota stay put; surplus servers are handed to
+// other quotas or freed.
+
+#ifndef RAS_SRC_CORE_ASSIGNMENT_DECODER_H_
+#define RAS_SRC_CORE_ASSIGNMENT_DECODER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/core/model_builder.h"
+#include "src/core/solve_input.h"
+
+namespace ras {
+
+struct DecodedAssignment {
+  // Target binding for every server covered by the classes (including
+  // kUnassigned for servers the solver returned to the free pool).
+  std::vector<std::pair<ServerId, ReservationId>> targets;
+  // Moves relative to the snapshot's current assignment.
+  size_t moves_total = 0;
+  size_t moves_in_use = 0;
+  size_t moves_idle = 0;
+};
+
+// `solution` is the MIP's full variable vector for built.model.
+DecodedAssignment DecodeAssignment(const SolveInput& input,
+                                   const std::vector<EquivalenceClass>& classes,
+                                   const BuiltModel& built, const std::vector<double>& solution);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_ASSIGNMENT_DECODER_H_

@@ -1,0 +1,308 @@
+#include "src/core/async_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/initial_assignment.h"
+#include "src/core/local_search.h"
+#include "src/core/lp_rounding.h"
+#include "src/util/logging.h"
+
+namespace ras {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Capacity shortfall of the final assignment: per buffered reservation,
+// max(0, C_r - (total RRU - worst-MSB RRU)) over available servers.
+double ComputeShortfall(const SolveInput& input,
+                        const std::vector<std::pair<ServerId, ReservationId>>& targets) {
+  const RegionTopology& topo = *input.topology;
+  std::unordered_map<ReservationId, int> res_index;
+  for (size_t r = 0; r < input.reservations.size(); ++r) {
+    res_index[input.reservations[r].id] = static_cast<int>(r);
+  }
+  std::vector<double> total(input.reservations.size(), 0.0);
+  std::vector<std::map<MsbId, double>> per_msb(input.reservations.size());
+  for (const auto& [server, res] : targets) {
+    if (res == kUnassigned) {
+      continue;
+    }
+    auto it = res_index.find(res);
+    if (it == res_index.end()) {
+      continue;
+    }
+    const Server& s = topo.server(server);
+    double v = input.reservations[static_cast<size_t>(it->second)].ValueOfType(s.type);
+    total[static_cast<size_t>(it->second)] += v;
+    per_msb[static_cast<size_t>(it->second)][s.msb] += v;
+  }
+  double shortfall = 0.0;
+  for (size_t r = 0; r < input.reservations.size(); ++r) {
+    const ReservationSpec& spec = input.reservations[r];
+    double worst = 0.0;
+    if (spec.needs_correlated_buffer) {
+      for (const auto& [msb, rru] : per_msb[r]) {
+        worst = std::max(worst, rru);
+      }
+    }
+    shortfall += std::max(0.0, spec.capacity_rru - (total[r] - worst));
+  }
+  return shortfall;
+}
+
+}  // namespace
+
+AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
+                                                const std::vector<EquivalenceClass>& classes,
+                                                bool include_rack_spread,
+                                                const std::vector<int>& subset,
+                                                const MipOptions& mip_options,
+                                                double snapshot_seconds) {
+  PhaseOutcome outcome;
+  outcome.stats.ran = true;
+  outcome.stats.timings.ras_build_s = snapshot_seconds;
+
+  // Solver build: symmetry-reduced model construction.
+  double t0 = Now();
+  BuiltModel built = BuildRasModel(input, classes, config_, include_rack_spread, subset);
+  outcome.stats.timings.solver_build_s = Now() - t0;
+  outcome.stats.assignment_variables = built.num_assignment_variables();
+  outcome.stats.model_rows = built.model.num_rows();
+  outcome.stats.model_variables = built.model.num_variables();
+  outcome.stats.memory_bytes = built.EstimatedMemoryBytes();
+
+  // Initial state: greedy warm start, polished by a short local search (the
+  // two backends compose — the search's relocate moves fix spread cheaply,
+  // and the MIP then starts from, and can only improve on, that incumbent).
+  t0 = Now();
+  std::vector<double> counts = BuildInitialCounts(input, classes, built);
+  if (config_.backend == SolverBackend::kMip) {
+    LocalSearchOptions polish;
+    polish.time_limit_seconds = std::min(1.0, mip_options.time_limit_seconds * 0.1);
+    polish.seed = 17;
+    counts = LocalSearchOptimize(input, classes, built, counts, polish).counts;
+  }
+  std::vector<double> warm = MakeWarmStart(input, classes, built, counts);
+  outcome.stats.warm_start_objective = built.model.Objective(warm);
+  outcome.stats.timings.initial_state_s = Now() - t0;
+
+  // Optimize (Section 6: the backend is pluggable; MIP is the paper's choice
+  // for RAS, local search the near-realtime alternative).
+  t0 = Now();
+  std::vector<double> local_solution;
+  const std::vector<double>* solution = nullptr;
+  if (config_.backend == SolverBackend::kLocalSearch) {
+    LocalSearchOptions ls_options;
+    ls_options.time_limit_seconds = mip_options.time_limit_seconds;
+    LocalSearchResult ls = LocalSearchOptimize(input, classes, built, counts, ls_options);
+    local_solution = MakeWarmStart(input, classes, built, ls.counts);
+    solution = &local_solution;
+    outcome.stats.timings.mip_s = Now() - t0;
+    outcome.stats.mip_status = MipStatus::kFeasible;  // No optimality proof.
+    outcome.stats.nodes = ls.proposals;
+    outcome.stats.objective = ls.final_objective;
+    outcome.stats.best_bound = -kInf;
+  } else {
+    MipOptions options = mip_options;
+    options.lp = LpOptions();
+    options.heuristic = MakeLpRoundingHeuristic(input, classes, built);
+    MipSolver solver(options);
+    MipResult mip = solver.Solve(built.model, &warm);
+    outcome.stats.timings.mip_s = Now() - t0;
+    outcome.stats.mip_status = mip.status;
+    outcome.stats.nodes = mip.nodes;
+    if (mip.status == MipStatus::kOptimal || mip.status == MipStatus::kFeasible) {
+      local_solution = std::move(mip.x);
+      solution = &local_solution;
+      outcome.stats.objective = mip.objective;
+      outcome.stats.best_bound = mip.best_bound;
+    } else {
+      // MIP produced nothing usable: ship the greedy initial state, exactly
+      // the paper's posture that a timed-out solve must still yield a valid
+      // (possibly suboptimal) assignment.
+      RAS_LOG(kWarning) << "MIP returned " << MipStatusName(mip.status)
+                        << "; falling back to the greedy initial state";
+      solution = &warm;
+      outcome.stats.objective = outcome.stats.warm_start_objective;
+      outcome.stats.best_bound = mip.best_bound;
+    }
+  }
+
+  outcome.decoded = DecodeAssignment(input, classes, built, *solution);
+  outcome.shortfall_rru = 0.0;
+  for (size_t r = 0; r < input.reservations.size(); ++r) {
+    if (built.shortfall_vars[r] != kNoVar) {
+      outcome.shortfall_rru += (*solution)[built.shortfall_vars[r]];
+    }
+  }
+  return outcome;
+}
+
+std::vector<double> AsyncSolver::RackOverflow(const SolveInput& input,
+                                              const DecodedAssignment& decoded) {
+  const RegionTopology& topo = *input.topology;
+  std::unordered_map<ReservationId, int> res_index;
+  for (size_t r = 0; r < input.reservations.size(); ++r) {
+    res_index[input.reservations[r].id] = static_cast<int>(r);
+  }
+  // Per (reservation, rack) RRU.
+  std::vector<std::map<RackId, double>> rack_rru(input.reservations.size());
+  for (const auto& [server, res] : decoded.targets) {
+    if (res == kUnassigned) {
+      continue;
+    }
+    auto it = res_index.find(res);
+    if (it == res_index.end()) {
+      continue;
+    }
+    const Server& s = topo.server(server);
+    double v = input.reservations[static_cast<size_t>(it->second)].ValueOfType(s.type);
+    rack_rru[static_cast<size_t>(it->second)][s.rack] += v;
+  }
+  std::vector<double> overflow(input.reservations.size(), 0.0);
+  for (size_t r = 0; r < input.reservations.size(); ++r) {
+    const ReservationSpec& spec = input.reservations[r];
+    double alpha_k = spec.rack_spread_alpha > 0.0
+                         ? spec.rack_spread_alpha
+                         : config_.rack_alpha_factor / static_cast<double>(topo.num_racks());
+    double threshold = std::max(alpha_k * spec.capacity_rru, config_.min_spread_threshold_rru);
+    for (const auto& [rack, rru] : rack_rru[r]) {
+      overflow[r] += std::max(0.0, rru - threshold);
+    }
+  }
+  return overflow;
+}
+
+Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
+                                              DecodedAssignment* decoded_out) {
+  if (input.topology == nullptr || input.catalog == nullptr) {
+    return Status::InvalidArgument("solve input missing topology or catalog");
+  }
+  double start = Now();
+  SolveStats stats;
+
+  // ---- Phase 1: MSB granularity, region-wide ----
+  double t0 = Now();
+  std::vector<EquivalenceClass> classes1 = BuildEquivalenceClasses(input, Scope::kMsb);
+  double ras_build1 = Now() - t0;
+  PhaseOutcome phase1 = RunPhase(input, classes1, /*include_rack_spread=*/false, {},
+                                 config_.phase1_mip, ras_build1);
+  stats.phase1 = phase1.stats;
+
+  // Working assignment after phase 1.
+  std::vector<std::pair<ServerId, ReservationId>> final_targets = phase1.decoded.targets;
+
+  // ---- Phase 2: rack granularity for the worst rack offenders ----
+  t0 = Now();
+  SolveInput input2 = input;  // Apply phase-1 targets as the new current state.
+  for (const auto& [server, res] : final_targets) {
+    input2.servers[server].current = res;
+  }
+  std::vector<double> overflow = RackOverflow(input2, phase1.decoded);
+  std::vector<int> order(input.reservations.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&overflow](int a, int b) { return overflow[a] > overflow[b]; });
+  std::vector<int> subset;
+  size_t max_take = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(static_cast<double>(input.reservations.size()) *
+                                       config_.phase2_reservation_percent / 100.0)));
+  for (int r : order) {
+    if (subset.size() >= max_take || overflow[static_cast<size_t>(r)] <= 1e-9) {
+      break;
+    }
+    subset.push_back(r);
+  }
+  double ras_build2 = Now() - t0;
+
+  if (!subset.empty()) {
+    std::unordered_set<ReservationId> subset_ids;
+    for (int r : subset) {
+      subset_ids.insert(input.reservations[static_cast<size_t>(r)].id);
+    }
+    ClassFilter filter;
+    filter.reservations = &subset_ids;
+    t0 = Now();
+    std::vector<EquivalenceClass> classes2 =
+        BuildEquivalenceClasses(input2, Scope::kRack, filter);
+    ras_build2 += Now() - t0;
+
+    // Respect the assignment-variable budget: shrink the subset if a crude
+    // upper bound (classes x subset reservations) exceeds it.
+    while (subset.size() > 1 &&
+           classes2.size() * subset.size() > config_.phase2_max_assignment_vars) {
+      subset.pop_back();
+      subset_ids.erase(input.reservations[static_cast<size_t>(order[subset.size()])].id);
+      classes2 = BuildEquivalenceClasses(input2, Scope::kRack, filter);
+    }
+
+    PhaseOutcome phase2 = RunPhase(input2, classes2, /*include_rack_spread=*/true, subset,
+                                   config_.phase2_mip, ras_build2);
+    stats.phase2 = phase2.stats;
+
+    // Merge: phase-2 targets override phase-1 for the servers it touched.
+    std::unordered_map<ServerId, ReservationId> merged;
+    merged.reserve(final_targets.size());
+    for (const auto& [server, res] : final_targets) {
+      merged[server] = res;
+    }
+    for (const auto& [server, res] : phase2.decoded.targets) {
+      merged[server] = res;
+    }
+    final_targets.assign(merged.begin(), merged.end());
+    std::sort(final_targets.begin(), final_targets.end());
+  }
+
+  // ---- Final accounting against the original snapshot ----
+  for (const auto& [server, res] : final_targets) {
+    const ServerSolveState& before = input.servers[server];
+    if (before.current != res) {
+      ++stats.moves_total;
+      (before.in_use ? stats.moves_in_use : stats.moves_idle)++;
+    }
+  }
+  stats.total_shortfall_rru = ComputeShortfall(input, final_targets);
+  stats.total_seconds = Now() - start;
+
+  if (decoded_out != nullptr) {
+    decoded_out->targets = std::move(final_targets);
+    decoded_out->moves_total = stats.moves_total;
+    decoded_out->moves_in_use = stats.moves_in_use;
+    decoded_out->moves_idle = stats.moves_idle;
+  }
+  return stats;
+}
+
+Result<SolveStats> AsyncSolver::SolveOnce(ResourceBroker& broker,
+                                          const ReservationRegistry& registry,
+                                          const HardwareCatalog& catalog) {
+  double t0 = Now();
+  SolveInput input = SnapshotSolveInput(broker, registry, catalog);
+  double snapshot_s = Now() - t0;
+
+  DecodedAssignment decoded;
+  Result<SolveStats> stats = SolveSnapshot(input, &decoded);
+  if (!stats.ok()) {
+    return stats;
+  }
+  stats->phase1.timings.ras_build_s += snapshot_s;
+  stats->total_seconds += snapshot_s;
+
+  // Persist the binding intent (Figure 6, step 3).
+  for (const auto& [server, res] : decoded.targets) {
+    broker.SetTarget(server, res);
+  }
+  return stats;
+}
+
+}  // namespace ras

@@ -1,0 +1,97 @@
+// Async Solver (Section 3.5): continuously re-optimizes the whole region's
+// server-to-reservation assignment with two-phase MIP solving.
+//
+// Phase 1 groups servers at MSB granularity (dropping rack goals lets far
+// more servers merge into each equivalence class) and solves capacity,
+// buffer, MSB-spread, affinity, and stability region-wide. Phase 2 re-solves
+// at rack granularity for the subset of reservations with the worst
+// rack-level objective, holding everything else fixed.
+//
+// Each phase is instrumented with the four steps of Figure 8:
+//   RAS build -> solver build -> initial state -> MIP.
+
+#ifndef RAS_SRC_CORE_ASYNC_SOLVER_H_
+#define RAS_SRC_CORE_ASYNC_SOLVER_H_
+
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/assignment_decoder.h"
+#include "src/core/model_builder.h"
+#include "src/core/reservation.h"
+#include "src/core/solve_input.h"
+
+namespace ras {
+
+struct StepTimings {
+  double ras_build_s = 0.0;
+  double solver_build_s = 0.0;
+  double initial_state_s = 0.0;
+  double mip_s = 0.0;
+
+  double total() const { return ras_build_s + solver_build_s + initial_state_s + mip_s; }
+  double setup() const { return ras_build_s + solver_build_s + initial_state_s; }
+};
+
+struct PhaseStats {
+  StepTimings timings;
+  size_t assignment_variables = 0;
+  size_t model_rows = 0;
+  size_t model_variables = 0;
+  size_t memory_bytes = 0;
+  MipStatus mip_status = MipStatus::kError;
+  double objective = 0.0;
+  double best_bound = 0.0;
+  double warm_start_objective = 0.0;
+  int64_t nodes = 0;
+  bool ran = false;
+};
+
+struct SolveStats {
+  PhaseStats phase1;
+  PhaseStats phase2;
+  size_t moves_total = 0;
+  size_t moves_in_use = 0;
+  size_t moves_idle = 0;
+  // Capacity shortfall (softened-constraint residue) after the solve, RRUs.
+  double total_shortfall_rru = 0.0;
+  double total_seconds = 0.0;
+};
+
+class AsyncSolver {
+ public:
+  explicit AsyncSolver(SolverConfig config = SolverConfig()) : config_(std::move(config)) {}
+
+  const SolverConfig& config() const { return config_; }
+  SolverConfig& mutable_config() { return config_; }
+
+  // One full solve (Figure 6, steps 2-3): snapshot broker + registry, run the
+  // two phases, and persist the resulting targets to the broker.
+  Result<SolveStats> SolveOnce(ResourceBroker& broker, const ReservationRegistry& registry,
+                               const HardwareCatalog& catalog);
+
+  // Lower-level entry point over a prepared snapshot; used by benches that
+  // need the input held fixed. Fills `targets` instead of writing the broker.
+  Result<SolveStats> SolveSnapshot(const SolveInput& input, DecodedAssignment* decoded);
+
+ private:
+  // Runs one phase over the given classes; returns the decoded assignment.
+  struct PhaseOutcome {
+    PhaseStats stats;
+    DecodedAssignment decoded;
+    double shortfall_rru = 0.0;
+  };
+  PhaseOutcome RunPhase(const SolveInput& input, const std::vector<EquivalenceClass>& classes,
+                        bool include_rack_spread, const std::vector<int>& subset,
+                        const MipOptions& mip_options, double snapshot_seconds);
+
+  // Rack-overflow score per reservation index, computed from a decoded
+  // phase-1 assignment; drives phase-2 subset selection.
+  std::vector<double> RackOverflow(const SolveInput& input, const DecodedAssignment& decoded);
+
+  SolverConfig config_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_ASYNC_SOLVER_H_

@@ -1,0 +1,139 @@
+#include "src/core/buffer_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ras {
+
+std::vector<ReservationId> EnsureSharedBuffers(ReservationRegistry& registry,
+                                               const RegionTopology& topology,
+                                               const HardwareCatalog& catalog, double fraction) {
+  // Population per hardware type.
+  std::vector<size_t> population(catalog.size(), 0);
+  for (const Server& s : topology.servers()) {
+    population[s.type]++;
+  }
+
+  std::vector<ReservationId> ids;
+  for (size_t t = 0; t < catalog.size(); ++t) {
+    if (population[t] == 0) {
+      continue;
+    }
+    double capacity = std::max(1.0, std::ceil(static_cast<double>(population[t]) * fraction));
+    std::string name = "shared-buffer/" + catalog.type(static_cast<HardwareTypeId>(t)).name;
+
+    // Find an existing buffer reservation for this type.
+    ReservationId existing = kUnassigned;
+    for (const ReservationSpec* spec : registry.All()) {
+      if (spec->is_shared_random_buffer && spec->name == name) {
+        existing = spec->id;
+        break;
+      }
+    }
+    if (existing != kUnassigned) {
+      ReservationSpec updated = *registry.Find(existing);
+      updated.capacity_rru = capacity;
+      (void)registry.Update(updated);
+      ids.push_back(existing);
+      continue;
+    }
+
+    ReservationSpec spec;
+    spec.name = name;
+    spec.capacity_rru = capacity;  // Count-based: 1 RRU per server of the type.
+    spec.rru_per_type.assign(catalog.size(), 0.0);
+    spec.rru_per_type[t] = 1.0;
+    spec.needs_correlated_buffer = false;  // Random failures only (Section 3.3.1).
+    spec.is_shared_random_buffer = true;
+    auto created = registry.Create(std::move(spec));
+    if (created.ok()) {
+      ids.push_back(*created);
+    }
+  }
+  return ids;
+}
+
+double MaxMsbShare(const ResourceBroker& broker, ReservationId reservation) {
+  const auto& servers = broker.ServersInReservation(reservation);
+  if (servers.empty()) {
+    return 0.0;
+  }
+  const RegionTopology& topo = broker.topology();
+  std::map<MsbId, size_t> per_msb;
+  for (ServerId id : servers) {
+    per_msb[topo.server(id).msb]++;
+  }
+  size_t worst = 0;
+  for (const auto& [msb, count] : per_msb) {
+    worst = std::max(worst, count);
+  }
+  return static_cast<double>(worst) / static_cast<double>(servers.size());
+}
+
+double RegionEmbeddedBufferFraction(const ResourceBroker& broker,
+                                    const ReservationRegistry& registry) {
+  const RegionTopology& topo = broker.topology();
+  size_t total = 0;
+  size_t worst_sum = 0;
+  for (const ReservationSpec* spec : registry.All()) {
+    if (!spec->needs_correlated_buffer) {
+      continue;
+    }
+    const auto& servers = broker.ServersInReservation(spec->id);
+    if (servers.empty()) {
+      continue;
+    }
+    std::map<MsbId, size_t> per_msb;
+    for (ServerId id : servers) {
+      per_msb[topo.server(id).msb]++;
+    }
+    size_t worst = 0;
+    for (const auto& [msb, count] : per_msb) {
+      worst = std::max(worst, count);
+    }
+    total += servers.size();
+    worst_sum += worst;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(worst_sum) / static_cast<double>(total);
+}
+
+double MinPossibleMaxMsbShare(const ReservationSpec& spec, const RegionTopology& topology) {
+  if (spec.capacity_rru <= 0.0) {
+    return 0.0;
+  }
+  // Per-MSB compatible RRU capacity.
+  std::vector<double> caps(topology.num_msbs(), 0.0);
+  for (const Server& s : topology.servers()) {
+    caps[s.msb] += spec.ValueOfType(s.type);
+  }
+  double total = 0.0;
+  for (double c : caps) {
+    total += c;
+  }
+  if (total < spec.capacity_rru) {
+    return 1.0;  // Cannot be satisfied at all; the bound degenerates.
+  }
+  // Waterfill: find the level L with sum(min(cap, L)) = C_r by bisection.
+  double lo = 0.0;
+  double hi = *std::max_element(caps.begin(), caps.end());
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    double filled = 0.0;
+    for (double c : caps) {
+      filled += std::min(c, mid);
+    }
+    if (filled >= spec.capacity_rru) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi / spec.capacity_rru;
+}
+
+double PerfectSpreadBound(const RegionTopology& topology) {
+  return topology.num_msbs() == 0 ? 0.0 : 1.0 / static_cast<double>(topology.num_msbs());
+}
+
+}  // namespace ras

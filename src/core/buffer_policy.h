@@ -1,0 +1,50 @@
+// Failure-buffer policy and accounting (Section 3.3).
+//
+//  - Shared random-failure buffers: one special reservation per hardware
+//    type, sized from the forecast random-failure rate (2% of the region).
+//  - Embedded correlated-failure buffers: accounting helpers measuring how
+//    much spare capacity the current placement needs to survive the loss of
+//    any one MSB, and the analytic lower bounds the paper compares against
+//    (4.06% achievable given hardware imbalance, 2.8% = 1/36 if hardware
+//    were perfectly spread).
+
+#ifndef RAS_SRC_CORE_BUFFER_POLICY_H_
+#define RAS_SRC_CORE_BUFFER_POLICY_H_
+
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/reservation.h"
+
+namespace ras {
+
+// Creates (or resizes) the per-hardware-type shared random-failure buffer
+// reservations in `registry`, each sized to `fraction` of the region's
+// population of that type. Returns the buffer reservation ids. Idempotent:
+// re-invoking updates capacities in place.
+std::vector<ReservationId> EnsureSharedBuffers(ReservationRegistry& registry,
+                                               const RegionTopology& topology,
+                                               const HardwareCatalog& catalog,
+                                               double fraction = 0.02);
+
+// Fraction of `reservation`'s servers that sit in its most-loaded MSB — the
+// embedded buffer it must hold to survive an MSB loss (Figure 12's metric).
+// Returns 0 for reservations with no servers.
+double MaxMsbShare(const ResourceBroker& broker, ReservationId reservation);
+
+// Region-wide embedded-buffer need: sum over guaranteed reservations of
+// their worst-MSB server count, as a fraction of all their servers.
+double RegionEmbeddedBufferFraction(const ResourceBroker& broker,
+                                    const ReservationRegistry& registry);
+
+// Analytic lower bound on a reservation's max-MSB share given where its
+// compatible hardware lives: waterfill C_r over the per-MSB compatible RRU
+// capacity; the minimum achievable worst-MSB fraction is level/C_r.
+double MinPossibleMaxMsbShare(const ReservationSpec& spec, const RegionTopology& topology);
+
+// The perfectly-spread bound: 1 / #MSBs.
+double PerfectSpreadBound(const RegionTopology& topology);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_BUFFER_POLICY_H_

@@ -1,0 +1,97 @@
+#include "src/core/capacity_portal.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace ras {
+
+CapacityPortal::CapacityPortal(ReservationRegistry* registry, const RegionTopology* topology,
+                               const HardwareCatalog* catalog)
+    : registry_(registry), topology_(topology), catalog_(catalog) {
+  assert(registry != nullptr && topology != nullptr && catalog != nullptr);
+}
+
+Result<ReservationId> CapacityPortal::SubmitRequest(ReservationSpec spec) {
+  // Elastic requests skip admission: they carry no guarantee to validate.
+  if (!spec.is_elastic) {
+    AdmissionReport report = CheckGrantable(spec, *topology_, *catalog_);
+    if (!report.grantable) {
+      history_.push_back(PortalEvent{PortalEvent::Kind::kRejected, kUnassigned, spec.name,
+                                     spec.capacity_rru, report.message});
+      return Status::FailedPrecondition(spec.name + ": " + report.message);
+    }
+  }
+  Result<ReservationId> created = registry_->Create(spec);
+  if (!created.ok()) {
+    history_.push_back(PortalEvent{PortalEvent::Kind::kRejected, kUnassigned, spec.name,
+                                   spec.capacity_rru, created.status().ToString()});
+    return created;
+  }
+  history_.push_back(PortalEvent{PortalEvent::Kind::kCreated, *created, spec.name,
+                                 spec.capacity_rru, "granted"});
+  return created;
+}
+
+Status CapacityPortal::ResizeRequest(ReservationId id, double new_capacity_rru) {
+  const ReservationSpec* existing = registry_->Find(id);
+  if (existing == nullptr) {
+    return Status::NotFound("no reservation with id " + std::to_string(id));
+  }
+  ReservationSpec updated = *existing;
+  double old_capacity = updated.capacity_rru;
+  updated.capacity_rru = new_capacity_rru;
+  if (new_capacity_rru > old_capacity && !updated.is_elastic) {
+    AdmissionReport report = CheckGrantable(updated, *topology_, *catalog_);
+    if (!report.grantable) {
+      history_.push_back(PortalEvent{PortalEvent::Kind::kRejected, id, updated.name,
+                                     new_capacity_rru, report.message});
+      return Status::FailedPrecondition(updated.name + ": " + report.message);
+    }
+  }
+  Status status = registry_->Update(updated);
+  if (status.ok()) {
+    char note[96];
+    std::snprintf(note, sizeof(note), "resized %.1f -> %.1f RRU", old_capacity,
+                  new_capacity_rru);
+    history_.push_back(
+        PortalEvent{PortalEvent::Kind::kUpdated, id, updated.name, new_capacity_rru, note});
+  }
+  return status;
+}
+
+Status CapacityPortal::UpdateRequest(const ReservationSpec& spec) {
+  const ReservationSpec* existing = registry_->Find(spec.id);
+  if (existing == nullptr) {
+    return Status::NotFound("no reservation with id " + std::to_string(spec.id));
+  }
+  if (!spec.is_elastic) {
+    AdmissionReport report = CheckGrantable(spec, *topology_, *catalog_);
+    if (!report.grantable) {
+      history_.push_back(PortalEvent{PortalEvent::Kind::kRejected, spec.id, spec.name,
+                                     spec.capacity_rru, report.message});
+      return Status::FailedPrecondition(spec.name + ": " + report.message);
+    }
+  }
+  Status status = registry_->Update(spec);
+  if (status.ok()) {
+    history_.push_back(PortalEvent{PortalEvent::Kind::kUpdated, spec.id, spec.name,
+                                   spec.capacity_rru, "spec updated"});
+  }
+  return status;
+}
+
+Status CapacityPortal::DeleteRequest(ReservationId id) {
+  const ReservationSpec* existing = registry_->Find(id);
+  if (existing == nullptr) {
+    return Status::NotFound("no reservation with id " + std::to_string(id));
+  }
+  PortalEvent event{PortalEvent::Kind::kDeleted, id, existing->name, existing->capacity_rru,
+                    "deleted"};
+  Status status = registry_->Remove(id);
+  if (status.ok()) {
+    history_.push_back(event);
+  }
+  return status;
+}
+
+}  // namespace ras

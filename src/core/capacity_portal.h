@@ -1,0 +1,57 @@
+// Capacity Portal (Figure 6's Frontend): the interface through which service
+// owners create, modify, and delete capacity requests. Wraps the registry
+// with admission checking so every rejected request carries an actionable
+// reason (Section 5.3), and records request history for operator visibility.
+
+#ifndef RAS_SRC_CORE_CAPACITY_PORTAL_H_
+#define RAS_SRC_CORE_CAPACITY_PORTAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/admission.h"
+#include "src/core/reservation.h"
+
+namespace ras {
+
+struct PortalEvent {
+  enum class Kind { kCreated, kUpdated, kDeleted, kRejected };
+  Kind kind;
+  ReservationId reservation = kUnassigned;
+  std::string name;
+  double capacity_rru = 0.0;
+  std::string detail;  // Admission message, rejection reason, or delta note.
+};
+
+class CapacityPortal {
+ public:
+  CapacityPortal(ReservationRegistry* registry, const RegionTopology* topology,
+                 const HardwareCatalog* catalog);
+
+  // Validates against the region's hardware (CheckGrantable) and creates the
+  // reservation if grantable. Rejections return kFailedPrecondition with the
+  // admission report's actionable message.
+  Result<ReservationId> SubmitRequest(ReservationSpec spec);
+
+  // Re-validates and applies a capacity change. Shrinks always pass
+  // admission (they free capacity); grows re-check the region.
+  Status ResizeRequest(ReservationId id, double new_capacity_rru);
+
+  // General spec update with re-admission.
+  Status UpdateRequest(const ReservationSpec& spec);
+
+  Status DeleteRequest(ReservationId id);
+
+  // Chronological request history (operator visibility).
+  const std::vector<PortalEvent>& history() const { return history_; }
+
+ private:
+  ReservationRegistry* registry_;
+  const RegionTopology* topology_;
+  const HardwareCatalog* catalog_;
+  std::vector<PortalEvent> history_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_CAPACITY_PORTAL_H_

@@ -1,0 +1,62 @@
+#include "src/core/emergency.h"
+
+namespace ras {
+
+EmergencyGrant GrantImmediateCapacity(ResourceBroker& broker, const ReservationRegistry& registry,
+                                      ReservationId reservation, size_t count) {
+  EmergencyGrant grant;
+  const ReservationSpec* spec = registry.Find(reservation);
+  if (spec == nullptr || count == 0) {
+    return grant;
+  }
+  const RegionTopology& topo = broker.topology();
+
+  // Free pool first.
+  std::vector<ServerId> pool = broker.ServersInReservation(kUnassigned);
+  for (ServerId server : pool) {
+    if (grant.servers_granted >= count) {
+      return grant;
+    }
+    const ServerRecord& rec = broker.record(server);
+    if (IsUnplanned(rec.unavailability)) {
+      continue;
+    }
+    if (spec->ValueOfType(topo.server(server).type) <= 0.0) {
+      continue;
+    }
+    broker.SetCurrent(server, reservation);
+    broker.SetTarget(server, reservation);
+    ++grant.servers_granted;
+    ++grant.from_free_pool;
+  }
+
+  // Then elastic-loaned servers: preempt the opportunistic workload and press
+  // the server into service. This borrows from the loaned-out portion of the
+  // shared buffers — a deliberate guarantee violation that future solves
+  // replenish (the paper: "future solves will correct any placement
+  // guarantees that were broken by this process").
+  for (const ReservationSpec* elastic : registry.AllElastic()) {
+    // Copy: SetCurrent mutates the membership index.
+    std::vector<ServerId> members = broker.ServersInReservation(elastic->id);
+    for (ServerId server : members) {
+      if (grant.servers_granted >= count) {
+        return grant;
+      }
+      const ServerRecord& rec = broker.record(server);
+      if (!rec.elastic_loan || IsUnplanned(rec.unavailability)) {
+        continue;
+      }
+      if (spec->ValueOfType(topo.server(server).type) <= 0.0) {
+        continue;
+      }
+      broker.SetElasticLoan(server, kUnassigned, false);
+      broker.SetCurrent(server, reservation);
+      broker.SetTarget(server, reservation);
+      ++grant.servers_granted;
+      ++grant.from_elastic;
+    }
+  }
+  return grant;
+}
+
+}  // namespace ras

@@ -1,0 +1,33 @@
+// Emergency out-of-band capacity path (Section 5.4): when capacity is needed
+// to handle an urgent site outage and cannot wait for the hourly solve, this
+// path writes server assignments directly to the Resource Broker without
+// obeying placement guarantees; future solves correct whatever it broke.
+// It is also the back-up when the Async Solver is unavailable.
+
+#ifndef RAS_SRC_CORE_EMERGENCY_H_
+#define RAS_SRC_CORE_EMERGENCY_H_
+
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/reservation.h"
+
+namespace ras {
+
+struct EmergencyGrant {
+  size_t servers_granted = 0;
+  size_t from_free_pool = 0;
+  size_t from_elastic = 0;  // Elastic loans preempted and pressed into service.
+};
+
+// Grants up to `count` servers of any type the reservation values,
+// immediately: free pool first, then elastic-loaned servers (preempting the
+// opportunistic workload). Idle shared-buffer servers that are NOT loaned out
+// stay untouched — depleting the failure buffer risks the whole region (the
+// "prioritize buffer capacity" lesson of Section 5.3).
+EmergencyGrant GrantImmediateCapacity(ResourceBroker& broker, const ReservationRegistry& registry,
+                                      ReservationId reservation, size_t count);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_EMERGENCY_H_

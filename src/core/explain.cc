@@ -1,0 +1,87 @@
+#include "src/core/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ras {
+
+AssignmentExplanation ExplainAssignment(const ResourceBroker& broker,
+                                        const ReservationRegistry& registry,
+                                        const HardwareCatalog& catalog,
+                                        ReservationId reservation, const SolverConfig& config) {
+  AssignmentExplanation out;
+  out.reservation = reservation;
+  const ReservationSpec* spec = registry.Find(reservation);
+  if (spec == nullptr) {
+    out.name = "<unknown reservation>";
+    return out;
+  }
+  out.name = spec->name;
+  out.capacity_rru = spec->capacity_rru;
+
+  const RegionTopology& topo = broker.topology();
+  for (ServerId id : broker.ServersInReservation(reservation)) {
+    const Server& s = topo.server(id);
+    double v = spec->ValueOfType(s.type);
+    ++out.servers;
+    out.total_rru += v;
+    auto& [count, rru] = out.by_type[s.type];
+    ++count;
+    rru += v;
+    out.by_msb[s.msb] += v;
+    out.by_dc[s.dc] += v;
+  }
+  for (const auto& [msb, rru] : out.by_msb) {
+    out.worst_msb_rru = std::max(out.worst_msb_rru, rru);
+  }
+  out.effective_rru = out.total_rru - out.worst_msb_rru;
+  out.shortfall_rru = std::max(0.0, out.capacity_rru - out.effective_rru);
+  double alpha_f = spec->msb_spread_alpha > 0.0
+                       ? spec->msb_spread_alpha
+                       : config.msb_alpha_factor / static_cast<double>(topo.num_msbs());
+  out.spread_threshold =
+      std::max(alpha_f * spec->capacity_rru, config.min_spread_threshold_rru);
+  for (const auto& [msb, rru] : out.by_msb) {
+    out.msbs_over_threshold += rru > out.spread_threshold + 1e-9 ? 1 : 0;
+  }
+  (void)catalog;
+  return out;
+}
+
+std::string AssignmentExplanation::ToString(const HardwareCatalog& catalog) const {
+  std::string s;
+  char line[256];
+  std::snprintf(line, sizeof(line), "reservation %s (id %u): %zu servers, %.1f RRU for a %.1f "
+                "RRU request\n",
+                name.c_str(), reservation, servers, total_rru, capacity_rru);
+  s += line;
+  std::snprintf(line, sizeof(line),
+                "  guarantee: %.1f RRU survives any single-MSB loss (worst MSB holds %.1f "
+                "RRU, the embedded correlated-failure buffer)%s\n",
+                effective_rru, worst_msb_rru,
+                shortfall_rru > 1e-6 ? " — SHORT of the request" : "");
+  s += line;
+  s += "  hardware mix (why: request's RRU table values these types; the solver picks\n"
+       "  whatever mix meets the RRU total cheapest):\n";
+  for (const auto& [type, entry] : by_type) {
+    std::snprintf(line, sizeof(line), "    %-8s x%-5zu -> %8.1f RRU\n",
+                  catalog.type(type).name.c_str(), entry.first, entry.second);
+    s += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  fault-domain spread: %zu MSBs, per-MSB threshold %.1f RRU, %zu over it "
+                "(why: Expression 3 penalizes concentration; the worst MSB bounds the "
+                "embedded buffer)\n",
+                by_msb.size(), spread_threshold, msbs_over_threshold);
+  s += line;
+  s += "  datacenter placement (why: affinity constraints, if any, pin shares; "
+       "otherwise spread decides):\n";
+  for (const auto& [dc, rru] : by_dc) {
+    std::snprintf(line, sizeof(line), "    DC %-3u %8.1f RRU (%.0f%%)\n", dc, rru,
+                  total_rru > 0 ? 100.0 * rru / total_rru : 0.0);
+    s += line;
+  }
+  return s;
+}
+
+}  // namespace ras

@@ -1,0 +1,57 @@
+#include "src/core/lp_rounding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/initial_assignment.h"
+
+namespace ras {
+
+MipHeuristic MakeLpRoundingHeuristic(const SolveInput& input,
+                                     const std::vector<EquivalenceClass>& classes,
+                                     const BuiltModel& built) {
+  return [&input, &classes, &built](const Model& model, const std::vector<double>& lp_x,
+                                    std::vector<double>* candidate) {
+    (void)model;
+    std::vector<double> counts(built.assignment_vars.size(), 0.0);
+
+    // Largest-remainder rounding per class: floors first, then hand the
+    // class's remaining rounded units to the largest fractions. The per-class
+    // total matches round(sum of LP values) capped at the class size, so
+    // supply rows hold by construction.
+    for (size_t c = 0; c < classes.size(); ++c) {
+      const auto& var_indices = built.class_to_vars[c];
+      double lp_total = 0.0;
+      for (int k : var_indices) {
+        lp_total += std::max(0.0, lp_x[built.assignment_vars[static_cast<size_t>(k)].var]);
+      }
+      long target =
+          std::min<long>(std::lround(lp_total), static_cast<long>(classes[c].count()));
+      long used = 0;
+      std::vector<std::pair<double, int>> fractions;  // (fraction, var index k).
+      for (int k : var_indices) {
+        double v = std::max(0.0, lp_x[built.assignment_vars[static_cast<size_t>(k)].var]);
+        double fl = std::floor(v);
+        counts[static_cast<size_t>(k)] = fl;
+        used += static_cast<long>(fl);
+        fractions.push_back({v - fl, k});
+      }
+      std::sort(fractions.begin(), fractions.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (const auto& [frac, k] : fractions) {
+        if (used >= target) {
+          break;
+        }
+        counts[static_cast<size_t>(k)] += 1.0;
+        ++used;
+      }
+    }
+
+    // Repair the residual capacity deficits and rebuild auxiliaries.
+    counts = RepairCounts(input, classes, built, std::move(counts));
+    *candidate = MakeWarmStart(input, classes, built, counts);
+    return true;
+  };
+}
+
+}  // namespace ras

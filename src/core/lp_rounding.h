@@ -1,0 +1,31 @@
+// LP-guided rounding heuristic for the RAS MIP.
+//
+// Installed into the branch-and-bound via MipOptions::heuristic. For each
+// equivalence class (one supply row), the fractional LP assignment counts are
+// rounded with the largest-remainder method — per-class totals are preserved
+// exactly, so no supply row is ever violated. Residual capacity deficits
+// (rounding can shave a fraction of a server off a reservation here and
+// there) are then repaired by the same spread-first greedy used for the
+// initial state, and auxiliary variables are recomputed to produce a fully
+// feasible candidate. Generic fix-and-solve rounding scatters capacity
+// because it rounds each variable independently; this one understands the
+// assignment structure.
+
+#ifndef RAS_SRC_CORE_LP_ROUNDING_H_
+#define RAS_SRC_CORE_LP_ROUNDING_H_
+
+#include "src/core/model_builder.h"
+#include "src/core/solve_input.h"
+#include "src/solver/mip.h"
+
+namespace ras {
+
+// Returns a heuristic bound to `input`, `classes` and `built`; all three must
+// outlive the MipSolver::Solve call it is installed into.
+MipHeuristic MakeLpRoundingHeuristic(const SolveInput& input,
+                                     const std::vector<EquivalenceClass>& classes,
+                                     const BuiltModel& built);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_LP_ROUNDING_H_

@@ -1,0 +1,185 @@
+// RAS MIP model construction (Section 3.5.3).
+//
+// Builds, from equivalence classes, the model
+//
+//   min   sum Ms * max(0, X - x)                      (1) stability
+//       + beta * sum_rack max(0, rack RRU - aK*C)     (2) rack spread
+//       + beta * sum_msb  max(0, msb RRU  - aF*C)     (3) MSB spread
+//       + tau  * sum_r max_msb(msb RRU)               (4) buffer minimization
+//   s.t. sum_r n[c][r] <= |class c|                   (5) assignment
+//        sum V*n - max_msb(...) >= C_r                (6) embedded buffer
+//        |dc share - A_{r,dc}| <= theta               (7) network affinity
+//
+// max() terms are linearized with auxiliary continuous variables. Following
+// Section 3.5.1, constraints (6) and (7) are *softened* with high-priority
+// slack variables so the model is always feasible; the slacks' costs dominate
+// every ordinary objective, so the solver fixes as many constraints as it
+// can before optimizing anything else.
+
+#ifndef RAS_SRC_CORE_MODEL_BUILDER_H_
+#define RAS_SRC_CORE_MODEL_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/solve_input.h"
+#include "src/solver/mip.h"
+#include "src/solver/model.h"
+
+namespace ras {
+
+// Which optimization backend the Async Solver uses (Section 6: ReBalancer
+// picks a MIP solver for RAS and local search for near-realtime clients).
+enum class SolverBackend {
+  kMip,          // LP-relaxation branch-and-bound (the paper's choice for RAS).
+  kLocalSearch,  // Greedy single-unit moves; bounded seconds, lower quality.
+};
+
+struct SolverConfig {
+  SolverBackend backend = SolverBackend::kMip;
+  // Expression (1): Ms. In-use servers cost 10x idle ones to move, which is
+  // why ~10x more unused servers move in practice (Figure 16).
+  double move_cost_in_use = 1000.0;
+  double move_cost_idle = 100.0;
+  // Small per-server cost for claiming a server a reservation does not
+  // currently hold (host cleanup + OS reconfiguration). Keeps solutions tight
+  // — without it, over-allocating free servers is objective-neutral.
+  double acquire_cost = 1.0;
+  // Expression (2)/(3): beta, per RRU above the spread threshold.
+  double spread_penalty_beta = 20000.0;
+  // Expression (4): tau, per RRU of correlated-failure buffer.
+  double buffer_cost_tau = 3000.0;
+  // Softened-constraint slack costs; must dominate all of the above.
+  double affinity_soften_cost = 2e5;
+  double capacity_soften_cost = 1e6;
+  // Storage quorum-spread cap (max_msb_fraction_hard): near-hard.
+  double quorum_soften_cost = 5e5;
+  // Anti-hoarding: per-RRU cost of holding capacity beyond
+  // (1 + hoarding_allowance) * C_r + buffer. Set above move_cost_idle so idle
+  // surplus is shed back to the free pool rather than stranded — the
+  // fungibility RAS exists to provide. Below move_cost_in_use, so shedding
+  // never preempts running containers by itself.
+  double hoarding_cost = 300.0;
+  double hoarding_allowance = 0.10;
+  // Default spread thresholds as multiples of the perfectly-uniform share:
+  // alpha_F = msb_alpha_factor / #MSBs, alpha_K = rack_alpha_factor / #racks.
+  double msb_alpha_factor = 1.3;
+  double rack_alpha_factor = 2.0;
+  // Floor on spread thresholds (in RRUs): tiny reservations (e.g. per-type
+  // shared buffers) would otherwise pay junk penalties for placing even a
+  // single server anywhere.
+  double min_spread_threshold_rru = 4.0;
+
+  // Phase-2 selection (Section 3.5.2): take the reservations with the worst
+  // rack-level objective until either this percentage is covered or the
+  // assignment-variable budget is reached.
+  double phase2_reservation_percent = 10.0;
+  size_t phase2_max_assignment_vars = 200000;
+
+  MipOptions phase1_mip;
+  MipOptions phase2_mip;
+
+  SolverConfig() {
+    // The LP-rounding heuristic finds near-optimal incumbents within a few
+    // nodes (bench/fig09: the 24-node early stop matches a 200-node
+    // reference in ~100% of trials), so node budgets stay small.
+    phase1_mip.time_limit_seconds = 20.0;
+    phase1_mip.max_nodes = 24;
+    phase2_mip.time_limit_seconds = 10.0;
+    phase2_mip.max_nodes = 16;
+    // Gaps below half an idle server move are operationally meaningless;
+    // pruning at this tolerance saves most of the branch-and-bound tail.
+    phase1_mip.absolute_gap = move_cost_idle / 2;
+    phase2_mip.absolute_gap = move_cost_idle / 2;
+  }
+};
+
+// A built model plus the bookkeeping needed to decode a solution.
+struct BuiltModel {
+  Model model;
+
+  // Assignment variables: n_vars[k] is the k-th (class, reservation) pair.
+  struct AssignmentVar {
+    VarId var;
+    int class_index;
+    int reservation_index;
+  };
+  std::vector<AssignmentVar> assignment_vars;
+  // Per class: indices into assignment_vars (for decode and warm start).
+  std::vector<std::vector<int>> class_to_vars;
+  // Per reservation index: capacity shortfall slack (kNoVar if the
+  // reservation is outside the subset).
+  std::vector<VarId> shortfall_vars;
+  // Per reservation index: the max-MSB buffer variable m_r, or kNoVar.
+  std::vector<VarId> buffer_vars;
+  // Per reservation index: hoarding overflow variable, or kNoVar, and the
+  // corresponding RRU limit (1 + allowance) * C_r.
+  std::vector<VarId> hoard_vars;
+  std::vector<double> hoard_limits;
+  // X values (initial counts) aligned with assignment_vars.
+  std::vector<double> initial_counts;
+  // Move-out variables o (Expression 1), aligned with assignment_vars; kNoVar
+  // where X == 0.
+  std::vector<VarId> move_vars;
+
+  // Bookkeeping for warm-start construction.
+  struct SpreadTerm {
+    VarId var;  // Overflow variable w >= (group RRU) - threshold.
+    int reservation_index;
+    uint32_t group;
+    double threshold;
+  };
+  std::vector<SpreadTerm> msb_spread_terms;
+  std::vector<SpreadTerm> rack_spread_terms;
+  struct AffinityTerm {
+    VarId lo_slack;
+    VarId hi_slack;
+    int reservation_index;
+    DatacenterId dc;
+    double lo;  // (A - theta) * C_r
+    double hi;  // (A + theta) * C_r
+  };
+  std::vector<AffinityTerm> affinity_terms;
+  // Storage quorum caps: per (reservation, MSB) slack above the hard limit.
+  struct QuorumTerm {
+    VarId slack;
+    int reservation_index;
+    uint32_t group;  // MSB.
+    double limit;    // max_msb_fraction_hard * C_r.
+  };
+  std::vector<QuorumTerm> quorum_terms;
+
+  size_t num_assignment_variables() const { return assignment_vars.size(); }
+  // Model-build memory (variables, rows, nonzeros, decode bookkeeping):
+  // linear in the number of assignment variables, the quantity comparable to
+  // the paper's Figure 11.
+  size_t ModelMemoryBytes() const;
+  // Full working-set estimate including the simplex's dense basis inverse
+  // (quadratic in rows — an artifact of this repo's from-scratch LP engine;
+  // commercial solvers keep a sparse factorization instead).
+  size_t EstimatedMemoryBytes() const;
+};
+
+inline constexpr VarId kNoVar = -1;
+
+// Builds the model over `classes`.
+//  - granularity: the location scope the classes were built at.
+//  - include_rack_spread: phase 2 adds Expression (2); requires rack classes.
+//  - reservation_subset: when non-empty (phase 2), capacity/spread/buffer
+//    constraints are emitted only for these reservation indices; classes are
+//    expected to be pre-filtered to those reservations' servers + free pool.
+BuiltModel BuildRasModel(const SolveInput& input, const std::vector<EquivalenceClass>& classes,
+                         const SolverConfig& config, bool include_rack_spread,
+                         const std::vector<int>& reservation_subset = {});
+
+// Computes the auxiliary-variable values (move-outs, spread overflows, buffer
+// max, slacks) consistent with the given assignment counts, producing a fully
+// feasible warm-start vector for the MIP ("Initial State" step, Figure 8).
+// `counts` is aligned with built.assignment_vars.
+std::vector<double> MakeWarmStart(const SolveInput& input,
+                                  const std::vector<EquivalenceClass>& classes,
+                                  const BuiltModel& built, const std::vector<double>& counts);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_MODEL_BUILDER_H_

@@ -1,0 +1,197 @@
+#include "src/core/online_mover.h"
+
+#include <cassert>
+
+namespace ras {
+
+OnlineMover::OnlineMover(ResourceBroker* broker, const ReservationRegistry* registry,
+                         TwineAllocator* twine)
+    : broker_(broker), registry_(registry), twine_(twine) {
+  assert(broker != nullptr && registry != nullptr);
+}
+
+void OnlineMover::Execute(ServerId server, ReservationId to, bool defer_retry) {
+  const ServerRecord& rec = broker_->record(server);
+  if (rec.current == to) {
+    return;
+  }
+  bool in_use = rec.has_containers;
+  if (twine_ != nullptr && in_use) {
+    stats_.containers_preempted += twine_->EvictServer(server, /*replace_now=*/!defer_retry);
+  }
+  if (rec.elastic_loan) {
+    broker_->SetElasticLoan(server, kUnassigned, false);
+  }
+  // Host cleanup + OS reconfiguration when the target reservation requires a
+  // different host profile (kernel version & settings, Section 3.1).
+  const ReservationSpec* from_spec =
+      rec.current == kUnassigned ? nullptr : registry_->Find(rec.current);
+  const ReservationSpec* to_spec = to == kUnassigned ? nullptr : registry_->Find(to);
+  const std::string& from_profile = from_spec != nullptr ? from_spec->host_profile : kDefault_;
+  const std::string& to_profile = to_spec != nullptr ? to_spec->host_profile : kDefault_;
+  if (from_profile != to_profile) {
+    ++stats_.host_reprofiles;
+  }
+  broker_->SetCurrent(server, to);
+  ++stats_.moves_applied;
+  (in_use ? stats_.in_use_moves : stats_.idle_moves)++;
+  if (twine_ != nullptr && !defer_retry) {
+    // Freshly arrived capacity may unblock pending replicas.
+    twine_->RetryPending();
+  }
+}
+
+size_t OnlineMover::ReconcileAll() {
+  // Apply every binding change first, re-place displaced replicas once at
+  // the end: retrying after each move would land containers on servers that
+  // are themselves about to move, preempting them twice.
+  size_t moved = 0;
+  for (ServerId server : broker_->PendingMoves()) {
+    const ServerRecord& rec = broker_->record(server);
+    Execute(server, rec.target, /*defer_retry=*/true);
+    ++moved;
+  }
+  if (twine_ != nullptr && moved > 0) {
+    twine_->RetryPending();
+  }
+  return moved;
+}
+
+ReservationId OnlineMover::SharedBufferFor(HardwareTypeId type) const {
+  for (const ReservationSpec* spec : registry_->All()) {
+    if (spec->is_shared_random_buffer && spec->ValueOfType(type) > 0.0) {
+      return spec->id;
+    }
+  }
+  return kUnassigned;
+}
+
+void OnlineMover::HandleFailure(ServerId failed) {
+  const ServerRecord& rec = broker_->record(failed);
+  ReservationId impacted = rec.elastic_loan ? rec.home : rec.current;
+  if (impacted == kUnassigned) {
+    return;  // Free-pool server: nothing to protect.
+  }
+  const ReservationSpec* spec = registry_->Find(impacted);
+  if (spec == nullptr || spec->is_shared_random_buffer || spec->is_elastic) {
+    return;  // Buffers and elastic capacity absorb their own failures.
+  }
+  if (twine_ != nullptr && rec.has_containers) {
+    stats_.containers_preempted += twine_->EvictServer(failed);
+  }
+
+  // Pull a healthy replacement of a type this reservation values, preferring
+  // the exact type of the failed server.
+  HardwareTypeId failed_type = broker_->topology().server(failed).type;
+  std::vector<HardwareTypeId> preference;
+  preference.push_back(failed_type);
+  for (size_t t = 0; t < spec->rru_per_type.size(); ++t) {
+    if (t != failed_type && spec->rru_per_type[t] > 0.0) {
+      preference.push_back(static_cast<HardwareTypeId>(t));
+    }
+  }
+  for (HardwareTypeId type : preference) {
+    if (spec->ValueOfType(type) <= 0.0) {
+      continue;
+    }
+    ReservationId buffer = SharedBufferFor(type);
+    if (buffer == kUnassigned) {
+      continue;
+    }
+    // Candidates: servers sitting in the buffer, plus buffer servers
+    // currently loaned out to elastic reservations (their membership moved
+    // with the loan; failure handling revokes them, Section 3.4).
+    std::vector<ServerId> candidates = broker_->ServersInReservation(buffer);
+    for (const ReservationSpec* elastic : registry_->AllElastic()) {
+      for (ServerId loaned : broker_->ServersInReservation(elastic->id)) {
+        if (broker_->record(loaned).elastic_loan && broker_->record(loaned).home == buffer) {
+          candidates.push_back(loaned);
+        }
+      }
+    }
+    for (ServerId candidate : candidates) {
+      const ServerRecord& cand = broker_->record(candidate);
+      if (IsUnplanned(cand.unavailability)) {
+        continue;
+      }
+      if (broker_->topology().server(candidate).type != type) {
+        continue;
+      }
+      if (cand.elastic_loan) {
+        if (twine_ != nullptr && cand.has_containers) {
+          stats_.containers_preempted += twine_->EvictServer(candidate);
+        }
+        broker_->SetElasticLoan(candidate, kUnassigned, false);
+        ++stats_.elastic_revocations;
+      }
+      Execute(candidate, impacted);
+      // Persist the intent too; the next solve may still re-optimize it.
+      broker_->SetTarget(candidate, impacted);
+      ++stats_.failures_replaced;
+      return;
+    }
+  }
+  ++stats_.replacements_missed;
+}
+
+void OnlineMover::HandleRecovery(ServerId recovered) {
+  (void)recovered;  // Binding is kept; the hourly solve re-evaluates it.
+}
+
+size_t OnlineMover::LoanIdleBuffersToElastic(ReservationId elastic_res, size_t max_loans) {
+  const ReservationSpec* elastic = registry_->Find(elastic_res);
+  if (elastic == nullptr || !elastic->is_elastic) {
+    return 0;
+  }
+  size_t loaned = 0;
+  for (const ReservationSpec* spec : registry_->All()) {
+    if (!spec->is_shared_random_buffer) {
+      continue;
+    }
+    std::vector<ServerId> members = broker_->ServersInReservation(spec->id);
+    for (ServerId server : members) {
+      if (loaned >= max_loans) {
+        return loaned;
+      }
+      const ServerRecord& rec = broker_->record(server);
+      if (rec.has_containers || rec.elastic_loan || IsUnplanned(rec.unavailability)) {
+        continue;
+      }
+      if (elastic->ValueOfType(broker_->topology().server(server).type) <= 0.0) {
+        continue;
+      }
+      broker_->SetElasticLoan(server, spec->id, true);
+      broker_->SetCurrent(server, elastic_res);
+      ++stats_.elastic_loans;
+      ++loaned;
+    }
+  }
+  return loaned;
+}
+
+size_t OnlineMover::RevokeElasticLoans(ReservationId home, size_t count) {
+  size_t revoked = 0;
+  // Loaned servers live in elastic reservations' membership lists.
+  for (const ReservationSpec* elastic : registry_->AllElastic()) {
+    std::vector<ServerId> members = broker_->ServersInReservation(elastic->id);
+    for (ServerId server : members) {
+      if (revoked >= count) {
+        return revoked;
+      }
+      const ServerRecord& rec = broker_->record(server);
+      if (!rec.elastic_loan || rec.home != home) {
+        continue;
+      }
+      if (twine_ != nullptr && rec.has_containers) {
+        stats_.containers_preempted += twine_->EvictServer(server);
+      }
+      broker_->SetElasticLoan(server, kUnassigned, false);
+      broker_->SetCurrent(server, home);
+      ++stats_.elastic_revocations;
+      ++revoked;
+    }
+  }
+  return revoked;
+}
+
+}  // namespace ras

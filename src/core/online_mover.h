@@ -1,0 +1,82 @@
+// Online Mover (Figure 6, step 4): executes the Async Solver's decisions and
+// handles the fast paths that cannot wait for a solve —
+//
+//  - reconciling each server's current binding toward its target, preempting
+//    containers off servers that change reservations;
+//  - replacing unplanned-failed servers from the shared random-failure
+//    buffer within a minute (Section 3.3.1);
+//  - loaning idle buffer / free capacity to elastic reservations and revoking
+//    the loans when failure handling needs the capacity back (Section 3.4).
+
+#ifndef RAS_SRC_CORE_ONLINE_MOVER_H_
+#define RAS_SRC_CORE_ONLINE_MOVER_H_
+
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/reservation.h"
+#include "src/twine/allocator.h"
+
+namespace ras {
+
+struct MoverStats {
+  size_t moves_applied = 0;
+  size_t in_use_moves = 0;   // Moves that preempted running containers.
+  size_t idle_moves = 0;
+  size_t containers_preempted = 0;
+  size_t failures_replaced = 0;
+  size_t replacements_missed = 0;  // No shared-buffer server available.
+  size_t elastic_loans = 0;
+  size_t elastic_revocations = 0;
+  // Moves that crossed host profiles and required OS reconfiguration
+  // (Section 3.1's Host Profile mechanism).
+  size_t host_reprofiles = 0;
+};
+
+class OnlineMover {
+ public:
+  // `twine` may be null in solver-only setups; then moves never preempt.
+  OnlineMover(ResourceBroker* broker, const ReservationRegistry* registry,
+              TwineAllocator* twine);
+
+  // Applies every pending target: preempt, flip current, clear loan state.
+  // Returns the number of servers moved this pass.
+  size_t ReconcileAll();
+
+  // Fast replacement on unplanned failure: pull a healthy same-type server
+  // out of the shared buffer (revoking an elastic loan if needed) and bind it
+  // to the impacted reservation. No-op for servers that are free, elastic, or
+  // in a buffer themselves.
+  void HandleFailure(ServerId failed);
+
+  // A recovered server keeps its binding; the next solve re-optimizes it.
+  void HandleRecovery(ServerId recovered);
+
+  // Loans up to `max_loans` idle shared-buffer servers to `elastic_res`.
+  size_t LoanIdleBuffersToElastic(ReservationId elastic_res, size_t max_loans);
+
+  // Revokes up to `count` elastic loans whose home is `home`; returns how
+  // many were returned.
+  size_t RevokeElasticLoans(ReservationId home, size_t count);
+
+  const MoverStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MoverStats(); }
+
+ private:
+  // Moves one server between reservations, preempting containers. With
+  // defer_retry the displaced replicas are not immediately re-placed
+  // (ReconcileAll batches one retry at the end).
+  void Execute(ServerId server, ReservationId to, bool defer_retry = false);
+  // Finds the shared-buffer reservation covering `type`, or kUnassigned.
+  ReservationId SharedBufferFor(HardwareTypeId type) const;
+
+  ResourceBroker* broker_;
+  const ReservationRegistry* registry_;
+  TwineAllocator* twine_;
+  MoverStats stats_;
+  const std::string kDefault_;  // The fleet-default host profile ("").
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_ONLINE_MOVER_H_

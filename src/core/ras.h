@@ -1,0 +1,37 @@
+// Umbrella public header for the RAS library.
+//
+// Typical flow (see examples/quickstart.cc):
+//
+//   Fleet fleet = GenerateFleet(options);            // or your own topology
+//   ResourceBroker broker(&fleet.topology);
+//   ReservationRegistry registry;
+//   EnsureSharedBuffers(registry, fleet.topology, fleet.catalog);
+//   registry.Create(my_reservation_spec);            // capacity request
+//   AsyncSolver solver;
+//   solver.SolveOnce(broker, registry, fleet.catalog);   // off critical path
+//   TwineAllocator twine(&fleet.catalog, &broker);
+//   OnlineMover mover(&broker, &registry, &twine);
+//   mover.ReconcileAll();                            // materialize bindings
+//   twine.SubmitJob(job);                            // real-time placement
+
+#ifndef RAS_SRC_CORE_RAS_H_
+#define RAS_SRC_CORE_RAS_H_
+
+#include "src/core/admission.h"
+#include "src/core/assignment_decoder.h"
+#include "src/core/async_solver.h"
+#include "src/core/buffer_policy.h"
+#include "src/core/capacity_portal.h"
+#include "src/core/emergency.h"
+#include "src/core/local_search.h"
+#include "src/core/explain.h"
+#include "src/core/initial_assignment.h"
+#include "src/core/lp_rounding.h"
+#include "src/core/model_builder.h"
+#include "src/core/online_mover.h"
+#include "src/core/reservation.h"
+#include "src/core/rru.h"
+#include "src/core/solve_input.h"
+#include "src/core/state_io.h"
+
+#endif  // RAS_SRC_CORE_RAS_H_

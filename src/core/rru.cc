@@ -1,0 +1,47 @@
+#include "src/core/rru.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ras {
+
+std::vector<double> BuildRruVector(const HardwareCatalog& catalog, const ServiceProfile& profile,
+                                   const std::vector<HardwareTypeId>& acceptable_types) {
+  std::vector<double> rru(catalog.size(), 0.0);
+  for (size_t t = 0; t < catalog.size(); ++t) {
+    HardwareTypeId type_id = static_cast<HardwareTypeId>(t);
+    if (!acceptable_types.empty() &&
+        std::find(acceptable_types.begin(), acceptable_types.end(), type_id) ==
+            acceptable_types.end()) {
+      continue;
+    }
+    const HardwareType& type = catalog.type(type_id);
+    double relative = profile.ValueOf(type);
+    if (relative <= 0.0) {
+      continue;
+    }
+    rru[t] = relative * type.compute_units;
+  }
+  return rru;
+}
+
+std::vector<double> BuildCountRruVector(const HardwareCatalog& catalog,
+                                        const std::vector<HardwareTypeId>& acceptable_types) {
+  std::vector<double> rru(catalog.size(), 0.0);
+  for (HardwareTypeId t : acceptable_types) {
+    assert(t < catalog.size());
+    rru[t] = 1.0;
+  }
+  return rru;
+}
+
+double TotalRru(const std::vector<double>& rru_per_type, const std::vector<size_t>& type_counts) {
+  assert(rru_per_type.size() == type_counts.size());
+  double total = 0.0;
+  for (size_t t = 0; t < rru_per_type.size(); ++t) {
+    total += rru_per_type[t] * static_cast<double>(type_counts[t]);
+  }
+  return total;
+}
+
+}  // namespace ras

@@ -1,0 +1,37 @@
+// Relative resource units (Section 3.1).
+//
+// RRUs decouple capacity requests from physical hardware: a reservation asks
+// for an aggregate amount of RRUs, and each server contributes an amount that
+// reflects the requesting service's throughput on that SKU. For a service
+// whose relative value does not scale with newer generations (DataStore in
+// Figure 3), every generation contributes near-identical RRUs; for Web, a
+// generation-3 server is worth 1.82x a generation-1 server.
+
+#ifndef RAS_SRC_CORE_RRU_H_
+#define RAS_SRC_CORE_RRU_H_
+
+#include <vector>
+
+#include "src/fleet/service_profile.h"
+#include "src/topology/hardware.h"
+
+namespace ras {
+
+// Builds V_{s,r} for a service: per hardware type, the service's relative
+// value on that generation times the SKU's baseline compute units. Types not
+// in `acceptable_types` get 0; an empty list accepts every type the profile
+// values (relative value > 0 on its generation and not excluded).
+std::vector<double> BuildRruVector(const HardwareCatalog& catalog, const ServiceProfile& profile,
+                                   const std::vector<HardwareTypeId>& acceptable_types = {});
+
+// Count-based request (Section 3.1, "smaller services can use a simple
+// count-based approach"): 1 RRU per server of any acceptable type.
+std::vector<double> BuildCountRruVector(const HardwareCatalog& catalog,
+                                        const std::vector<HardwareTypeId>& acceptable_types);
+
+// Total RRUs a set of per-type server counts contributes under `rru_per_type`.
+double TotalRru(const std::vector<double>& rru_per_type, const std::vector<size_t>& type_counts);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_RRU_H_

@@ -1,0 +1,98 @@
+#include "src/core/solve_input.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+namespace ras {
+
+int SolveInput::ReservationIndex(ReservationId id) const {
+  for (size_t i = 0; i < reservations.size(); ++i) {
+    if (reservations[i].id == id) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+SolveInput SnapshotSolveInput(const ResourceBroker& broker, const ReservationRegistry& registry,
+                              const HardwareCatalog& catalog) {
+  SolveInput input;
+  input.topology = &broker.topology();
+  input.catalog = &catalog;
+  for (const ReservationSpec* spec : registry.AllSolvable()) {
+    input.reservations.push_back(*spec);
+  }
+  input.servers.resize(broker.num_servers());
+  for (ServerId id = 0; id < broker.num_servers(); ++id) {
+    const ServerRecord& rec = broker.record(id);
+    ServerSolveState& state = input.servers[id];
+    if (rec.elastic_loan) {
+      // Loaned-out buffer capacity belongs to its home reservation for
+      // solving purposes, and is freely movable.
+      state.current = rec.home;
+      state.in_use = false;
+    } else {
+      state.current = rec.current;
+      state.in_use = rec.has_containers;
+    }
+    state.available = !IsUnplanned(rec.unavailability);
+    if (state.current != kUnassigned) {
+      const ReservationSpec* owner = registry.Find(state.current);
+      if (owner == nullptr) {
+        // A deleted reservation leaves dangling bindings; treat them as free
+        // so the next solve reclaims the servers.
+        state.current = kUnassigned;
+        state.in_use = false;
+      } else if (owner->externally_managed) {
+        // Legacy-managed capacity is invisible to the solver: neither supply
+        // nor rebind target.
+        state.available = false;
+      }
+    }
+  }
+  return input;
+}
+
+std::vector<EquivalenceClass> BuildEquivalenceClasses(const SolveInput& input, Scope granularity,
+                                                      const ClassFilter& filter) {
+  assert(input.topology != nullptr);
+  const RegionTopology& topo = *input.topology;
+  using Key = std::tuple<uint32_t, HardwareTypeId, ReservationId, bool>;
+  std::map<Key, EquivalenceClass> classes;  // Ordered => deterministic output.
+
+  for (ServerId id = 0; id < input.servers.size(); ++id) {
+    const ServerSolveState& state = input.servers[id];
+    if (!state.available) {
+      continue;  // Availability constraint: failed servers are not capacity.
+    }
+    if (filter.reservations != nullptr && state.current != kUnassigned &&
+        filter.reservations->count(state.current) == 0) {
+      continue;  // Phase-2 restriction: other reservations' servers are fixed.
+    }
+    const Server& s = topo.server(id);
+    uint32_t group = topo.GroupOf(granularity, id);
+    Key key{group, s.type, state.current, state.in_use};
+    auto [it, inserted] = classes.try_emplace(key);
+    EquivalenceClass& cls = it->second;
+    if (inserted) {
+      cls.group = group;
+      cls.msb = s.msb;
+      cls.dc = s.dc;
+      cls.type = s.type;
+      cls.current = state.current;
+      cls.in_use = state.in_use;
+    }
+    cls.servers.push_back(id);
+  }
+
+  std::vector<EquivalenceClass> out;
+  out.reserve(classes.size());
+  for (auto& [key, cls] : classes) {
+    out.push_back(std::move(cls));
+  }
+  return out;
+}
+
+}  // namespace ras

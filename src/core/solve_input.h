@@ -1,0 +1,75 @@
+// Solve input: the immutable snapshot the Async Solver reads at the start of
+// each solve (Figure 6, step 2) — the latest capacity-request state from the
+// registry and the complete server fleet state from the Resource Broker —
+// plus the symmetry reduction into equivalence classes (Section 3.5.2).
+
+#ifndef RAS_SRC_CORE_SOLVE_INPUT_H_
+#define RAS_SRC_CORE_SOLVE_INPUT_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/reservation.h"
+#include "src/topology/topology.h"
+
+namespace ras {
+
+// Per-server snapshot fields the solver cares about.
+struct ServerSolveState {
+  ReservationId current = kUnassigned;  // Elastic loans resolve to home.
+  bool in_use = false;                  // Containers running => high move cost.
+  bool available = true;                // False on unplanned unavailability.
+};
+
+struct SolveInput {
+  const RegionTopology* topology = nullptr;
+  const HardwareCatalog* catalog = nullptr;
+  // Non-elastic reservations, id order (includes shared random buffers).
+  std::vector<ReservationSpec> reservations;
+  std::vector<ServerSolveState> servers;  // Indexed by ServerId.
+
+  // Index of a reservation id in `reservations`, or -1.
+  int ReservationIndex(ReservationId id) const;
+};
+
+// Snapshots broker + registry. Servers loaned to elastic reservations are
+// attributed to their home reservation and treated as idle (their moves are
+// "virtually free" — the loan is revocable by design).
+SolveInput SnapshotSolveInput(const ResourceBroker& broker, const ReservationRegistry& registry,
+                              const HardwareCatalog& catalog);
+
+// One equivalence class: servers that are interchangeable in the MIP —
+// identical location group (MSB in phase 1, rack in phase 2), hardware type,
+// current assignment, and movement-cost tier. Merging them turns |class|
+// boolean x_{s,r} variables into a single integer variable per reservation.
+struct EquivalenceClass {
+  uint32_t group = 0;  // MSB id or rack id depending on granularity.
+  MsbId msb = 0;
+  DatacenterId dc = 0;
+  HardwareTypeId type = kInvalidHardwareType;
+  ReservationId current = kUnassigned;
+  bool in_use = false;
+  std::vector<ServerId> servers;
+
+  size_t count() const { return servers.size(); }
+};
+
+struct ClassFilter {
+  // When non-null, only servers whose current reservation is in this set, or
+  // that are free (kUnassigned), participate. Used by phase 2 to restrict the
+  // problem to the reservations with the worst rack objectives.
+  const std::unordered_set<ReservationId>* reservations = nullptr;
+};
+
+// Groups available servers into equivalence classes at the given location
+// granularity (Scope::kMsb for phase 1, Scope::kRack for phase 2).
+// Unplanned-unavailable servers are excluded entirely: the availability
+// constraint of Section 3.5.1. Deterministic order.
+std::vector<EquivalenceClass> BuildEquivalenceClasses(const SolveInput& input, Scope granularity,
+                                                      const ClassFilter& filter = {});
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_SOLVE_INPUT_H_

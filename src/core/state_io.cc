@@ -1,0 +1,257 @@
+#include "src/core/state_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace ras {
+namespace {
+
+constexpr char kHeader[] = "ras-state v1";
+
+// Field separator escape: names are free-form text.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '|') {
+      out += "%7C";
+    } else if (c == '\n') {
+      out += "%0A";
+    } else if (c == '%') {
+      out += "%25";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      std::string hex = s.substr(i + 1, 2);
+      if (hex == "7C") {
+        out += '|';
+        i += 2;
+        continue;
+      }
+      if (hex == "0A") {
+        out += '\n';
+        i += 2;
+        continue;
+      }
+      if (hex == "25") {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == sep) {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+std::string IdToText(ReservationId id) {
+  return id == kUnassigned ? "-" : std::to_string(id);
+}
+
+bool TextToId(const std::string& text, ReservationId* id) {
+  if (text == "-") {
+    *id = kUnassigned;
+    return true;
+  }
+  char* end = nullptr;
+  unsigned long value = std::strtoul(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return false;
+  }
+  *id = static_cast<ReservationId>(value);
+  return true;
+}
+
+constexpr unsigned kFlagBuffered = 1u;
+constexpr unsigned kFlagSharedBuffer = 2u;
+constexpr unsigned kFlagElastic = 4u;
+constexpr unsigned kFlagStorage = 8u;
+constexpr unsigned kFlagExternal = 16u;
+
+}  // namespace
+
+std::string SerializeRegionState(const ResourceBroker& broker,
+                                 const ReservationRegistry& registry) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "# servers=" << broker.num_servers() << "\n";
+
+  char buf[64];
+  for (const ReservationSpec* spec : registry.All()) {
+    unsigned flags = (spec->needs_correlated_buffer ? kFlagBuffered : 0) |
+                     (spec->is_shared_random_buffer ? kFlagSharedBuffer : 0) |
+                     (spec->is_elastic ? kFlagElastic : 0) |
+                     (spec->is_storage ? kFlagStorage : 0) |
+                     (spec->externally_managed ? kFlagExternal : 0);
+    out << "reservation|" << spec->id << "|" << Escape(spec->name) << "|";
+    std::snprintf(buf, sizeof(buf), "%.9g", spec->capacity_rru);
+    out << buf << "|" << flags << "|";
+    std::snprintf(buf, sizeof(buf), "%.9g|%.9g|%.9g|%.9g", spec->msb_spread_alpha,
+                  spec->rack_spread_alpha, spec->affinity_theta, spec->max_msb_fraction_hard);
+    out << buf << "|" << Escape(spec->host_profile) << "|";
+    for (size_t t = 0; t < spec->rru_per_type.size(); ++t) {
+      std::snprintf(buf, sizeof(buf), "%s%.9g", t == 0 ? "" : ",", spec->rru_per_type[t]);
+      out << buf;
+    }
+    out << "|";
+    bool first = true;
+    for (const auto& [dc, share] : spec->dc_affinity) {
+      std::snprintf(buf, sizeof(buf), "%s%u=%.9g", first ? "" : ",", dc, share);
+      out << buf;
+      first = false;
+    }
+    out << "\n";
+  }
+
+  for (ServerId id = 0; id < broker.num_servers(); ++id) {
+    const ServerRecord& r = broker.record(id);
+    // Skip all-default records to keep snapshots proportional to usage.
+    if (r.current == kUnassigned && r.target == kUnassigned && !r.elastic_loan &&
+        r.unavailability == Unavailability::kNone && !r.has_containers) {
+      continue;
+    }
+    out << "server|" << id << "|" << IdToText(r.current) << "|" << IdToText(r.target) << "|"
+        << IdToText(r.home) << "|" << (r.elastic_loan ? 1 : 0) << "|"
+        << static_cast<int>(r.unavailability) << "|" << (r.has_containers ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+Status DeserializeRegionState(const std::string& text, ResourceBroker& broker,
+                              ReservationRegistry& registry) {
+  if (registry.size() != 0) {
+    return Status::FailedPrecondition("restore requires an empty registry");
+  }
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing ras-state header");
+  }
+
+  // Two-pass: validate everything before mutating the broker.
+  struct ServerLine {
+    ServerId id;
+    ReservationId current, target, home;
+    bool loan, has_containers;
+    Unavailability unavailability;
+  };
+  std::vector<ReservationSpec> specs;
+  std::vector<ServerLine> servers;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::vector<std::string> f = Split(line, '|');
+    auto bad = [&line_no](const std::string& why) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " + why);
+    };
+    if (f[0] == "reservation") {
+      if (f.size() != 12) {
+        return bad("reservation record needs 12 fields");
+      }
+      ReservationSpec spec;
+      ReservationId id;
+      if (!TextToId(f[1], &id) || id == kUnassigned) {
+        return bad("bad reservation id");
+      }
+      spec.id = id;
+      spec.name = Unescape(f[2]);
+      spec.capacity_rru = std::atof(f[3].c_str());
+      unsigned flags = static_cast<unsigned>(std::strtoul(f[4].c_str(), nullptr, 10));
+      spec.needs_correlated_buffer = flags & kFlagBuffered;
+      spec.is_shared_random_buffer = flags & kFlagSharedBuffer;
+      spec.is_elastic = flags & kFlagElastic;
+      spec.is_storage = flags & kFlagStorage;
+      spec.externally_managed = flags & kFlagExternal;
+      spec.msb_spread_alpha = std::atof(f[5].c_str());
+      spec.rack_spread_alpha = std::atof(f[6].c_str());
+      spec.affinity_theta = std::atof(f[7].c_str());
+      spec.max_msb_fraction_hard = std::atof(f[8].c_str());
+      spec.host_profile = Unescape(f[9]);
+      for (const std::string& v : Split(f[10], ',')) {
+        if (!v.empty()) {
+          spec.rru_per_type.push_back(std::atof(v.c_str()));
+        }
+      }
+      if (!f[11].empty()) {
+        for (const std::string& pair : Split(f[11], ',')) {
+          std::vector<std::string> kv = Split(pair, '=');
+          if (kv.size() != 2) {
+            return bad("bad affinity pair: " + pair);
+          }
+          spec.dc_affinity[static_cast<DatacenterId>(std::strtoul(kv[0].c_str(), nullptr, 10))] =
+              std::atof(kv[1].c_str());
+        }
+      }
+      specs.push_back(std::move(spec));
+    } else if (f[0] == "server") {
+      if (f.size() != 8) {
+        return bad("server record needs 8 fields");
+      }
+      ServerLine s;
+      char* end = nullptr;
+      unsigned long sid = std::strtoul(f[1].c_str(), &end, 10);
+      if (sid >= broker.num_servers()) {
+        return bad("server id out of range: " + f[1]);
+      }
+      s.id = static_cast<ServerId>(sid);
+      if (!TextToId(f[2], &s.current) || !TextToId(f[3], &s.target) ||
+          !TextToId(f[4], &s.home)) {
+        return bad("bad binding ids");
+      }
+      s.loan = f[5] == "1";
+      int unavail = std::atoi(f[6].c_str());
+      if (unavail < 0 || unavail > static_cast<int>(Unavailability::kUnplannedHardware)) {
+        return bad("bad unavailability code: " + f[6]);
+      }
+      s.unavailability = static_cast<Unavailability>(unavail);
+      s.has_containers = f[7] == "1";
+      servers.push_back(s);
+    } else {
+      return bad("unknown record type: " + f[0]);
+    }
+  }
+
+  for (ReservationSpec& spec : specs) {
+    Result<ReservationId> restored = registry.Restore(std::move(spec));
+    if (!restored.ok()) {
+      return restored.status();
+    }
+  }
+  for (const ServerLine& s : servers) {
+    broker.SetCurrent(s.id, s.current);
+    broker.SetTarget(s.id, s.target);
+    broker.SetElasticLoan(s.id, s.home, s.loan);
+    broker.SetUnavailability(s.id, s.unavailability);
+    broker.SetHasContainers(s.id, s.has_containers);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ras

@@ -1,0 +1,39 @@
+// Region control-plane state persistence.
+//
+// The production Resource Broker is highly-available replicated storage; RAS
+// itself is stateless between solves apart from the broker bindings and the
+// capacity-request database. This module serializes exactly that pair —
+// reservation specs and per-server bindings — to a line-based text format,
+// so a control plane can restart (or an operator can snapshot/diff a region)
+// without losing the continuously-optimized assignment.
+//
+// Format (one record per line, '|'-separated fields, '#' comments):
+//   ras-state v1
+//   reservation|<id>|<name>|<capacity>|<flags>|<host_profile>|<rru csv>|<affinity csv>
+//   server|<id>|<current>|<target>|<home>|<loan>|<unavail>|<has_containers>
+// Hardware/topology are NOT serialized: they are regenerable from the fleet
+// seed and are validated by server-count on load.
+
+#ifndef RAS_SRC_CORE_STATE_IO_H_
+#define RAS_SRC_CORE_STATE_IO_H_
+
+#include <string>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/reservation.h"
+
+namespace ras {
+
+// Serializes registry + broker bindings.
+std::string SerializeRegionState(const ResourceBroker& broker,
+                                 const ReservationRegistry& registry);
+
+// Restores into an empty registry and a freshly-constructed broker over the
+// same topology. Fails without partial effects on malformed input or a
+// server-count mismatch.
+Status DeserializeRegionState(const std::string& text, ResourceBroker& broker,
+                              ReservationRegistry& registry);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_STATE_IO_H_

@@ -1,0 +1,132 @@
+#include "src/fleet/fleet_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ras {
+namespace {
+
+// Availability window of a SKU as a function of MSB age in [0, 1]
+// (1 = oldest MSB). Returns the stocking weight (0 = not stocked).
+//
+// Generation-1 SKUs populate old MSBs and taper off; generation-3 SKUs and
+// the GPU SKU exist only in newer MSBs. This reproduces Figure 2's pattern
+// where each MSB carries only a subset of SKUs and the subsets drift with
+// deployment time.
+double StockingWeight(const HardwareType& type, double age) {
+  double lo = 0.0;
+  double hi = 1.0;
+  switch (type.cpu_generation) {
+    case 1:
+      lo = 0.45;  // Gen I only in the older 55% of MSBs.
+      hi = 1.0;
+      break;
+    case 2:
+      lo = 0.15;
+      hi = 0.85;
+      break;
+    case 3:
+      lo = 0.0;  // Gen III only in the newer 60%.
+      hi = 0.6;
+      break;
+    default:
+      break;
+  }
+  if (type.has_gpu) {
+    hi = std::min(hi, 0.25);  // GPU SKU: newest quarter only.
+  }
+  if (age < lo || age > hi) {
+    return 0.0;
+  }
+  // Triangular weight peaking mid-window so mixtures shift gradually.
+  double mid = 0.5 * (lo + hi);
+  double half = std::max(0.5 * (hi - lo), 1e-9);
+  return std::max(0.05, 1.0 - std::fabs(age - mid) / half);
+}
+
+}  // namespace
+
+size_t Fleet::CountInMsb(MsbId msb, HardwareTypeId type) const {
+  size_t count = 0;
+  for (ServerId id : topology.ServersInMsb(msb)) {
+    if (topology.server(id).type == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<double> Fleet::TypeMix() const {
+  std::vector<double> mix(catalog.size(), 0.0);
+  for (const Server& s : topology.servers()) {
+    mix[s.type] += 1.0;
+  }
+  for (double& m : mix) {
+    m /= static_cast<double>(std::max<size_t>(topology.num_servers(), 1));
+  }
+  return mix;
+}
+
+std::vector<double> Fleet::TypeMixInMsb(MsbId msb) const {
+  std::vector<double> mix(catalog.size(), 0.0);
+  const auto& servers = topology.ServersInMsb(msb);
+  for (ServerId id : servers) {
+    mix[topology.server(id).type] += 1.0;
+  }
+  for (double& m : mix) {
+    m /= static_cast<double>(std::max<size_t>(servers.size(), 1));
+  }
+  return mix;
+}
+
+Fleet GenerateFleet(const FleetOptions& options) {
+  assert(options.num_datacenters > 0 && options.msbs_per_datacenter > 0);
+  Fleet fleet;
+  fleet.catalog = MakePaperCatalog();
+  Rng rng(options.seed);
+
+  const int total_msbs = options.num_datacenters * options.msbs_per_datacenter;
+  int msb_index = 0;
+  // MSBs are numbered region-wide in deployment order; datacenters were
+  // turned up one after another, so DC 0 holds the oldest MSBs.
+  for (int d = 0; d < options.num_datacenters; ++d) {
+    DatacenterId dc = fleet.topology.AddDatacenter();
+    for (int m = 0; m < options.msbs_per_datacenter; ++m, ++msb_index) {
+      MsbId msb = *fleet.topology.AddMsb(dc);
+      double age = total_msbs <= 1
+                       ? 0.5
+                       : 1.0 - static_cast<double>(msb_index) / static_cast<double>(total_msbs - 1);
+
+      // Per-MSB SKU mixture: stocking weight x jitter.
+      std::vector<double> weights(fleet.catalog.size(), 0.0);
+      double total_weight = 0.0;
+      for (size_t t = 0; t < fleet.catalog.size(); ++t) {
+        double w = StockingWeight(fleet.catalog.type(static_cast<HardwareTypeId>(t)), age);
+        if (w > 0.0) {
+          w *= std::max(0.05, 1.0 + options.mixture_noise * rng.Normal(0.0, 1.0));
+        }
+        weights[t] = w;
+        total_weight += w;
+      }
+      if (total_weight <= 0.0) {
+        // Degenerate window (shouldn't happen with the paper catalog): fall
+        // back to the generation-2 workhorse so the MSB is never empty.
+        weights[fleet.catalog.FindByName("C2-S1")] = 1.0;
+      }
+
+      // Racks are homogeneous: real deployments rack one SKU at a time.
+      for (int r = 0; r < options.racks_per_msb; ++r) {
+        RackId rack = *fleet.topology.AddRack(msb);
+        HardwareTypeId type = static_cast<HardwareTypeId>(rng.WeightedIndex(weights));
+        for (int s = 0; s < options.servers_per_rack; ++s) {
+          (void)*fleet.topology.AddServer(rack, type);
+        }
+      }
+    }
+  }
+  fleet.topology.Finalize();
+  return fleet;
+}
+
+}  // namespace ras

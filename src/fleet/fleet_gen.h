@@ -1,0 +1,53 @@
+// Synthetic fleet generation.
+//
+// Substitutes for Facebook's production fleet (Section 2): builds a region
+// with the paper's topology (datacenters -> MSBs -> racks -> servers) and a
+// heterogeneous hardware mixture that varies across MSBs the way Figure 2
+// shows — older MSBs carry older generations and discontinued SKUs, the
+// newest MSBs carry the latest generation and the GPU SKU.
+
+#ifndef RAS_SRC_FLEET_FLEET_GEN_H_
+#define RAS_SRC_FLEET_FLEET_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/hardware.h"
+#include "src/topology/topology.h"
+#include "src/util/rng.h"
+
+namespace ras {
+
+struct FleetOptions {
+  int num_datacenters = 3;
+  int msbs_per_datacenter = 4;
+  int racks_per_msb = 10;
+  int servers_per_rack = 12;
+  uint64_t seed = 1;
+  // MSB "age" runs from 1.0 (oldest, MSB 0) down to 0.0 (newest). A SKU is
+  // stocked in an MSB when the MSB's age falls inside the SKU's availability
+  // window, which is derived from its CPU generation.
+  // Mixture noise: weight jitter applied per (MSB, SKU).
+  double mixture_noise = 0.35;
+};
+
+struct Fleet {
+  HardwareCatalog catalog;
+  RegionTopology topology;
+
+  size_t num_servers() const { return topology.num_servers(); }
+  // Count of servers of `type` inside `msb`.
+  size_t CountInMsb(MsbId msb, HardwareTypeId type) const;
+  // Fraction of each hardware type region-wide (indexed by type id).
+  std::vector<double> TypeMix() const;
+  // Fraction of each hardware type within one MSB.
+  std::vector<double> TypeMixInMsb(MsbId msb) const;
+};
+
+// Builds a fleet with the paper catalog (MakePaperCatalog) and an age-driven
+// per-MSB mixture. Deterministic in `options.seed`.
+Fleet GenerateFleet(const FleetOptions& options);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_FLEET_FLEET_GEN_H_

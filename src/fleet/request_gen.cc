@@ -1,0 +1,63 @@
+#include "src/fleet/request_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ras {
+
+std::vector<GeneratedRequest> GenerateRequests(const HardwareCatalog& catalog,
+                                               const RequestGenOptions& options) {
+  assert(catalog.size() > 0);
+  Rng rng(options.seed);
+  std::vector<GeneratedRequest> out;
+  out.reserve(options.count);
+
+  // Types sorted newest-generation-first; "latest only" requests pick from
+  // the front, broad requests take a prefix of the generation-sorted list.
+  std::vector<HardwareTypeId> by_generation(catalog.size());
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    by_generation[i] = static_cast<HardwareTypeId>(i);
+  }
+  std::stable_sort(by_generation.begin(), by_generation.end(),
+                   [&catalog](HardwareTypeId a, HardwareTypeId b) {
+                     return catalog.type(a).cpu_generation > catalog.type(b).cpu_generation;
+                   });
+
+  for (int i = 0; i < options.count; ++i) {
+    GeneratedRequest req;
+    req.service = "svc-" + std::to_string(i);
+
+    // Size: 70% log-uniform over the mid band (matches "majority of requests
+    // range from a few hundred to a few thousand"), 25% over the full range,
+    // 5% jumbo requests near the top (the very large Web/Feed deployments).
+    double mode = rng.NextDouble();
+    if (mode < 0.70) {
+      req.units = static_cast<double>(
+          rng.LogUniformInt(std::min<int64_t>(200, options.max_units),
+                            std::min<int64_t>(5000, options.max_units)));
+    } else if (mode < 0.95) {
+      req.units = static_cast<double>(rng.LogUniformInt(options.min_units, options.max_units));
+    } else {
+      req.units = static_cast<double>(
+          rng.LogUniformInt(std::max<int64_t>(options.max_units * 2 / 3, options.min_units),
+                            options.max_units));
+    }
+
+    // Acceptable hardware types: trimodal per Figure 4.
+    double fan = rng.NextDouble();
+    size_t n_types;
+    if (fan < 0.35) {
+      n_types = 1;  // Latest generation only.
+    } else if (fan < 0.85) {
+      n_types = std::min<size_t>(catalog.size(), static_cast<size_t>(rng.UniformInt(6, 9)));
+    } else {
+      n_types = std::min<size_t>(catalog.size(), static_cast<size_t>(rng.UniformInt(10, 12)));
+    }
+    req.acceptable_types.assign(by_generation.begin(),
+                                by_generation.begin() + static_cast<long>(n_types));
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace ras

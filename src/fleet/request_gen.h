@@ -1,0 +1,42 @@
+// Capacity-request workload generation (the paper's Section 2.4 / Figure 4):
+// request sizes span 1 to ~30,000 capacity units with a heavy middle around a
+// few hundred to a few thousand, and each request names the set of hardware
+// types that can fulfill it — most often either exactly one (latest
+// generation only) or a wide band of ~8 types.
+
+#ifndef RAS_SRC_FLEET_REQUEST_GEN_H_
+#define RAS_SRC_FLEET_REQUEST_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topology/hardware.h"
+#include "src/util/rng.h"
+
+namespace ras {
+
+struct GeneratedRequest {
+  std::string service;
+  // Requested capacity in units (one unit = one baseline server's worth).
+  double units = 0;
+  // Hardware types that can fulfill the request.
+  std::vector<HardwareTypeId> acceptable_types;
+};
+
+struct RequestGenOptions {
+  int count = 1000;
+  int64_t min_units = 1;
+  int64_t max_units = 30000;
+  uint64_t seed = 7;
+};
+
+// Draws `count` requests. Sizes are log-uniform with an extra mass in the
+// hundreds-to-thousands band; the acceptable-type set is drawn from the
+// paper's trimodal pattern (1 type / ~8 types / 10+ types).
+std::vector<GeneratedRequest> GenerateRequests(const HardwareCatalog& catalog,
+                                               const RequestGenOptions& options);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_FLEET_REQUEST_GEN_H_

@@ -1,0 +1,62 @@
+#include "src/fleet/service_profile.h"
+
+#include <algorithm>
+
+namespace ras {
+
+double ServiceProfile::ValueOf(const HardwareType& type) const {
+  if (requires_gpu && !type.has_gpu) {
+    return 0.0;
+  }
+  for (uint16_t cat : excluded_categories) {
+    if (type.category == cat) {
+      return 0.0;
+    }
+  }
+  if (type.cpu_generation == 0 || type.cpu_generation >= relative_value.size()) {
+    return 0.0;
+  }
+  double gen_multiplier = relative_value[type.cpu_generation];
+  if (gen_multiplier <= 0.0) {
+    return 0.0;
+  }
+  // Relative value scales the SKU's baseline throughput relative to what a
+  // generation-1 SKU of the same family would deliver. The catalog already
+  // encodes absolute per-SKU compute, so the service-specific multiplier is
+  // the ratio of its own scaling to the fleet-average generational scaling.
+  return gen_multiplier;
+}
+
+std::vector<ServiceProfile> MakePaperServiceProfiles() {
+  std::vector<ServiceProfile> profiles;
+
+  ServiceProfile datastore;
+  datastore.name = "DataStore";
+  datastore.relative_value = {0.0, 1.0, 1.0, 1.0};  // No generational gain (Figure 3).
+  datastore.is_storage = true;
+  profiles.push_back(datastore);
+
+  ServiceProfile feed1;
+  feed1.name = "Feed1";
+  feed1.relative_value = {0.0, 1.0, 1.35, 1.35};  // Gains on gen 2, flat to gen 3.
+  profiles.push_back(feed1);
+
+  ServiceProfile feed2;
+  feed2.name = "Feed2";
+  feed2.relative_value = {0.0, 1.0, 1.22, 1.55};
+  profiles.push_back(feed2);
+
+  ServiceProfile web;
+  web.name = "Web";
+  web.relative_value = {0.0, 1.0, 1.47, 1.82};  // The paper's headline numbers.
+  profiles.push_back(web);
+
+  ServiceProfile fleet_avg;
+  fleet_avg.name = "FleetAvg";
+  fleet_avg.relative_value = {0.0, 1.0, 1.28, 1.55};
+  profiles.push_back(fleet_avg);
+
+  return profiles;
+}
+
+}  // namespace ras

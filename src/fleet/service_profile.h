@@ -1,0 +1,47 @@
+// Service profiles: how a workload values each hardware generation
+// (the paper's Relative Value metric, Section 2.3 / Figure 3), plus the
+// placement-relevant traits RAS consumes (network intensity, storage
+// affinity, hardware restrictions).
+
+#ifndef RAS_SRC_FLEET_SERVICE_PROFILE_H_
+#define RAS_SRC_FLEET_SERVICE_PROFILE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/topology/hardware.h"
+
+namespace ras {
+
+struct ServiceProfile {
+  std::string name;
+  // Relative value gained on each CPU generation, normalized to generation 1
+  // (index 0 unused; generations are 1-based). A zero entry means the service
+  // cannot run on that generation at all.
+  std::array<double, 4> relative_value = {0.0, 1.0, 1.0, 1.0};
+  // Fraction of this service's traffic that crosses datacenters when placed
+  // without affinity; drives the Figure 15 model.
+  double network_intensity = 0.0;
+  // True for replication / erasure-coded storage services (Section 3.3.2).
+  bool is_storage = false;
+  // Hardware categories this service refuses (empty = anything with a
+  // non-zero relative value on its generation works).
+  std::vector<uint16_t> excluded_categories;
+  // Requires a GPU SKU.
+  bool requires_gpu = false;
+
+  // Relative value of one server of `type` for this service: the generation
+  // multiplier applied to the SKU's baseline compute units, zero when the
+  // hardware is excluded.
+  double ValueOf(const HardwareType& type) const;
+};
+
+// The four named production services of Figure 3 plus the fleet-average
+// profile: DataStore gains nothing from newer generations, Feed1 gains on
+// gen 2 but not gen 3, Feed2 gains moderately, Web gains 1.47x / 1.82x.
+std::vector<ServiceProfile> MakePaperServiceProfiles();
+
+}  // namespace ras
+
+#endif  // RAS_SRC_FLEET_SERVICE_PROFILE_H_

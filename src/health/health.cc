@@ -1,0 +1,223 @@
+#include "src/health/health.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ras {
+
+const char* HealthEventKindName(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kServerHardware:
+      return "server-hardware";
+    case HealthEventKind::kServerSoftware:
+      return "server-software";
+    case HealthEventKind::kTorFailure:
+      return "tor-failure";
+    case HealthEventKind::kMsbCorrelatedFailure:
+      return "msb-correlated";
+    case HealthEventKind::kPlannedMaintenance:
+      return "planned-maintenance";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Draws Poisson arrival times over [start, start+horizon) at `rate_per_sec`
+// and invokes `make_event` for each.
+template <typename MakeEvent>
+void DrawArrivals(SimTime start, SimDuration horizon, double rate_per_sec, Rng& rng,
+                  MakeEvent make_event) {
+  if (rate_per_sec <= 0.0) {
+    return;
+  }
+  double t = 0.0;
+  double end = static_cast<double>(horizon.seconds);
+  while (true) {
+    t += rng.Exponential(rate_per_sec);
+    if (t >= end) {
+      break;
+    }
+    make_event(start + Seconds(static_cast<int64_t>(t)));
+  }
+}
+
+SimDuration DrawDuration(SimDuration mean, Rng& rng) {
+  // Exponential durations with a floor of one minute.
+  double d = rng.Exponential(1.0 / std::max<double>(1.0, static_cast<double>(mean.seconds)));
+  return Seconds(std::max<int64_t>(60, static_cast<int64_t>(d)));
+}
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerMonth = 86400.0 * 30.0;
+constexpr double kSecondsPerYear = 86400.0 * 365.0;
+
+}  // namespace
+
+std::vector<HealthEvent> HealthEventGenerator::GenerateSchedule(SimTime start,
+                                                                SimDuration horizon,
+                                                                Rng& rng) const {
+  std::vector<HealthEvent> events;
+  const RegionTopology& topo = *topology_;
+  const size_t n_servers = topo.num_servers();
+  const size_t n_racks = topo.num_racks();
+  const size_t n_msbs = topo.num_msbs();
+
+  // Random server hardware failures.
+  DrawArrivals(start, horizon,
+               rates_.server_hw_failures_per_server_day * static_cast<double>(n_servers) /
+                   kSecondsPerDay,
+               rng, [&](SimTime t) {
+                 HealthEvent e;
+                 e.kind = HealthEventKind::kServerHardware;
+                 e.start = t;
+                 e.duration = DrawDuration(rates_.hw_repair_mean, rng);
+                 e.servers = {static_cast<ServerId>(
+                     rng.UniformInt(0, static_cast<int64_t>(n_servers) - 1))};
+                 events.push_back(std::move(e));
+               });
+
+  // Random server software failures.
+  DrawArrivals(start, horizon,
+               rates_.server_sw_failures_per_server_day * static_cast<double>(n_servers) /
+                   kSecondsPerDay,
+               rng, [&](SimTime t) {
+                 HealthEvent e;
+                 e.kind = HealthEventKind::kServerSoftware;
+                 e.start = t;
+                 e.duration = DrawDuration(rates_.sw_repair_mean, rng);
+                 e.servers = {static_cast<ServerId>(
+                     rng.UniformInt(0, static_cast<int64_t>(n_servers) - 1))};
+                 events.push_back(std::move(e));
+               });
+
+  // ToR failures: one rack at a time.
+  DrawArrivals(
+      start, horizon,
+      rates_.tor_failures_per_rack_day * static_cast<double>(n_racks) / kSecondsPerDay, rng,
+      [&](SimTime t) {
+        HealthEvent e;
+        e.kind = HealthEventKind::kTorFailure;
+        e.start = t;
+        e.duration = DrawDuration(rates_.tor_repair_mean, rng);
+        RackId rack = static_cast<RackId>(rng.UniformInt(0, static_cast<int64_t>(n_racks) - 1));
+        e.servers = topo.ServersInRack(rack);
+        events.push_back(std::move(e));
+      });
+
+  // Correlated MSB failures.
+  DrawArrivals(start, horizon,
+               rates_.msb_failures_per_msb_year * static_cast<double>(n_msbs) / kSecondsPerYear,
+               rng, [&](SimTime t) {
+                 HealthEvent e;
+                 e.kind = HealthEventKind::kMsbCorrelatedFailure;
+                 e.start = t;
+                 e.duration = DrawDuration(rates_.msb_outage_mean, rng);
+                 MsbId msb =
+                     static_cast<MsbId>(rng.UniformInt(0, static_cast<int64_t>(n_msbs) - 1));
+                 e.servers = topo.ServersInMsb(msb);
+                 events.push_back(std::move(e));
+               });
+
+  // Planned maintenance waves: pick an MSB, take a random <= 25% chunk.
+  DrawArrivals(start, horizon,
+               rates_.maintenance_waves_per_msb_month * static_cast<double>(n_msbs) /
+                   kSecondsPerMonth,
+               rng, [&](SimTime t) {
+                 HealthEvent e;
+                 e.kind = HealthEventKind::kPlannedMaintenance;
+                 e.start = t;
+                 e.duration = DrawDuration(rates_.maintenance_duration_mean, rng);
+                 MsbId msb =
+                     static_cast<MsbId>(rng.UniformInt(0, static_cast<int64_t>(n_msbs) - 1));
+                 std::vector<ServerId> pool = topo.ServersInMsb(msb);
+                 rng.Shuffle(pool);
+                 size_t take = std::max<size_t>(
+                     1, static_cast<size_t>(static_cast<double>(pool.size()) *
+                                            rates_.maintenance_chunk_fraction * rng.NextDouble()));
+                 pool.resize(std::min(take, pool.size()));
+                 e.servers = std::move(pool);
+                 events.push_back(std::move(e));
+               });
+
+  std::sort(events.begin(), events.end(),
+            [](const HealthEvent& a, const HealthEvent& b) { return a.start < b.start; });
+  return events;
+}
+
+HealthCheckService::HealthCheckService(ResourceBroker* broker) : broker_(broker) {
+  assert(broker != nullptr);
+  per_server_.resize(broker->num_servers());
+}
+
+void HealthCheckService::LoadSchedule(std::vector<HealthEvent> schedule) {
+  for (HealthEvent& e : schedule) {
+    uint32_t index = static_cast<uint32_t>(events_.size());
+    events_.push_back(std::move(e));
+    queue_.push(Transition{events_[index].start, true, index});
+    queue_.push(Transition{events_[index].end(), false, index});
+  }
+}
+
+void HealthCheckService::Inject(const HealthEvent& event) {
+  uint32_t index = static_cast<uint32_t>(events_.size());
+  events_.push_back(event);
+  queue_.push(Transition{event.start, true, index});
+  queue_.push(Transition{event.end(), false, index});
+}
+
+void HealthCheckService::AdvanceTo(SimTime now) {
+  while (!queue_.empty() && queue_.top().time <= now) {
+    Transition t = queue_.top();
+    queue_.pop();
+    Apply(events_[t.event_index], t.is_start);
+  }
+}
+
+void HealthCheckService::Apply(const HealthEvent& event, bool starting) {
+  int delta = starting ? 1 : -1;
+  active_count_[static_cast<int>(event.kind)] += static_cast<size_t>(delta);
+  for (ServerId id : event.servers) {
+    Counts& c = per_server_[id];
+    switch (event.kind) {
+      case HealthEventKind::kServerHardware:
+        c.hw = static_cast<uint16_t>(c.hw + delta);
+        break;
+      case HealthEventKind::kServerSoftware:
+      case HealthEventKind::kTorFailure:
+      case HealthEventKind::kMsbCorrelatedFailure:
+        c.sw = static_cast<uint16_t>(c.sw + delta);
+        break;
+      case HealthEventKind::kPlannedMaintenance:
+        c.maintenance = static_cast<uint16_t>(c.maintenance + delta);
+        break;
+    }
+    Unavailability before = broker_->record(id).unavailability;
+    RecomputeServer(id);
+    Unavailability after = broker_->record(id).unavailability;
+    if (starting && !IsUnplanned(before) && IsUnplanned(after) && failure_cb_) {
+      failure_cb_(id, event.kind);
+    }
+    if (!starting && IsUnplanned(before) && !IsUnplanned(after) && recovery_cb_) {
+      recovery_cb_(id);
+    }
+  }
+}
+
+void HealthCheckService::RecomputeServer(ServerId id) {
+  const Counts& c = per_server_[id];
+  Unavailability u = Unavailability::kNone;
+  if (c.maintenance > 0) {
+    u = Unavailability::kPlannedMaintenance;
+  }
+  if (c.sw > 0) {
+    u = Unavailability::kUnplannedSoftware;
+  }
+  if (c.hw > 0) {
+    u = Unavailability::kUnplannedHardware;
+  }
+  broker_->SetUnavailability(id, u);
+}
+
+}  // namespace ras

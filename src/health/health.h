@@ -1,0 +1,144 @@
+// Health Check Service simulation (Figure 6's monitor, fed by the stochastic
+// event model of Section 2.5):
+//
+//  - random server failures: hardware (long repair times, ~0.1% of the fleet
+//    at any instant) and software (minutes);
+//  - ToR switch failures taking out a whole rack (also "random" in the
+//    paper's taxonomy);
+//  - correlated MSB failures (~1 MSB per region-month, lasting hours);
+//  - planned maintenance scheduled in MSB-granular waves, capped at 25% of an
+//    MSB concurrently (Section 3.3.1).
+//
+// `HealthEventGenerator` pre-draws a deterministic schedule for a horizon;
+// `HealthCheckService` replays it against a ResourceBroker as simulated time
+// advances, maintaining per-server active-event counts so overlapping events
+// compose correctly.
+
+#ifndef RAS_SRC_HEALTH_HEALTH_H_
+#define RAS_SRC_HEALTH_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/topology/topology.h"
+#include "src/util/rng.h"
+#include "src/util/sim_time.h"
+
+namespace ras {
+
+enum class HealthEventKind : uint8_t {
+  kServerHardware,
+  kServerSoftware,
+  kTorFailure,            // Rack-scoped random failure.
+  kMsbCorrelatedFailure,  // MSB-scoped correlated failure.
+  kPlannedMaintenance,    // MSB-granular wave, <= 25% of the MSB at once.
+};
+
+const char* HealthEventKindName(HealthEventKind kind);
+
+struct HealthEvent {
+  HealthEventKind kind;
+  SimTime start;
+  SimDuration duration;
+  std::vector<ServerId> servers;  // Affected servers (resolved at generation).
+
+  SimTime end() const { return start + duration; }
+};
+
+struct HealthRates {
+  // Random failures.
+  double server_hw_failures_per_server_day = 0.0004;
+  SimDuration hw_repair_mean = Days(5);
+  double server_sw_failures_per_server_day = 0.004;
+  SimDuration sw_repair_mean = Minutes(45);
+  double tor_failures_per_rack_day = 0.0015;
+  SimDuration tor_repair_mean = Hours(4);
+  // Correlated failures: the paper observes ~2% of MSBs impacted per year,
+  // roughly one MSB failure per region-month at Facebook's scale.
+  double msb_failures_per_msb_year = 0.35;
+  SimDuration msb_outage_mean = Hours(8);
+  // Planned maintenance: kernel updates, switch and power-device work, and
+  // physical maintenance make planned events the *majority* of capacity loss
+  // (Section 2.5: combined unavailability can exceed 5%, mostly planned).
+  // Several waves per MSB-month, each touching <= 25% of the MSB.
+  double maintenance_waves_per_msb_month = 6.0;
+  SimDuration maintenance_duration_mean = Hours(18);
+  double maintenance_chunk_fraction = 0.25;
+};
+
+// Draws a full event schedule for [start, start + horizon), sorted by start.
+// Deterministic in `rng` state.
+class HealthEventGenerator {
+ public:
+  HealthEventGenerator(const RegionTopology* topology, HealthRates rates)
+      : topology_(topology), rates_(rates) {}
+
+  std::vector<HealthEvent> GenerateSchedule(SimTime start, SimDuration horizon, Rng& rng) const;
+
+ private:
+  const RegionTopology* topology_;
+  HealthRates rates_;
+};
+
+// Replays a schedule against the broker. Overlapping events compose: a
+// server is marked with the most severe active kind (unplanned hardware >
+// unplanned software > planned maintenance > none).
+class HealthCheckService {
+ public:
+  explicit HealthCheckService(ResourceBroker* broker);
+
+  void LoadSchedule(std::vector<HealthEvent> schedule);
+  // Injects one event immediately (used by failure-drill examples/tests).
+  void Inject(const HealthEvent& event);
+
+  // Processes all event starts/ends with time <= now, updating the broker.
+  void AdvanceTo(SimTime now);
+
+  // Fires when a server transitions into an unplanned-unavailable state;
+  // this is the Online Mover's replacement trigger (Figure 6, step 7).
+  using FailureCallback = std::function<void(ServerId, HealthEventKind)>;
+  void SetFailureCallback(FailureCallback cb) { failure_cb_ = std::move(cb); }
+  using RecoveryCallback = std::function<void(ServerId)>;
+  void SetRecoveryCallback(RecoveryCallback cb) { recovery_cb_ = std::move(cb); }
+
+  // Count of servers currently affected by each kind (for the Figure 5 bench).
+  size_t ActiveCount(HealthEventKind kind) const { return active_count_[static_cast<int>(kind)]; }
+
+ private:
+  struct Transition {
+    SimTime time;
+    bool is_start;
+    uint32_t event_index;
+    // Ends sort after starts at the same instant so zero-length events apply.
+    bool operator>(const Transition& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return is_start < other.is_start;
+    }
+  };
+
+  void Apply(const HealthEvent& event, bool starting);
+  void RecomputeServer(ServerId id);
+
+  ResourceBroker* broker_;
+  std::vector<HealthEvent> events_;
+  std::priority_queue<Transition, std::vector<Transition>, std::greater<Transition>> queue_;
+  // Per server: active event counts by kind.
+  struct Counts {
+    uint16_t hw = 0;
+    uint16_t sw = 0;
+    uint16_t maintenance = 0;
+  };
+  std::vector<Counts> per_server_;
+  size_t active_count_[5] = {0, 0, 0, 0, 0};
+  FailureCallback failure_cb_;
+  RecoveryCallback recovery_cb_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_HEALTH_HEALTH_H_

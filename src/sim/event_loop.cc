@@ -1,0 +1,38 @@
+#include "src/sim/event_loop.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace ras {
+
+void EventLoop::ScheduleAt(SimTime t, Callback fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::ScheduleEvery(SimTime first, SimDuration period, Callback fn) {
+  assert(period.seconds > 0);
+  // Self-rescheduling wrapper; shared_ptr breaks the lambda's own-type cycle.
+  auto recur = std::make_shared<Callback>();
+  auto body = std::make_shared<Callback>(std::move(fn));
+  *recur = [this, period, body, recur](SimTime t) {
+    (*body)(t);
+    ScheduleAt(t + period, *recur);
+  };
+  ScheduleAt(first, *recur);
+}
+
+void EventLoop::RunUntil(SimTime end) {
+  while (!queue_.empty() && queue_.top().time <= end) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.time;
+    entry.fn(now_);
+  }
+  now_ = end;
+}
+
+}  // namespace ras

@@ -1,0 +1,55 @@
+// Minimal discrete-event simulation loop: a priority queue of (time, seq)
+// ordered callbacks and a simulated clock. Components schedule one-shot or
+// recurring events; RunUntil drains everything up to a horizon.
+
+#ifndef RAS_SRC_SIM_EVENT_LOOP_H_
+#define RAS_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace ras {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (clamped to now).
+  void ScheduleAt(SimTime t, Callback fn);
+  void ScheduleAfter(SimDuration d, Callback fn) { ScheduleAt(now_ + d, std::move(fn)); }
+
+  // Schedules `fn` every `period` starting at `first`, until the loop stops.
+  void ScheduleEvery(SimTime first, SimDuration period, Callback fn);
+
+  // Runs all events with time <= end; leaves now() == end.
+  void RunUntil(SimTime end);
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;  // FIFO tie-break for equal times.
+    Callback fn;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_{0};
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_SIM_EVENT_LOOP_H_

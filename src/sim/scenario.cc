@@ -1,0 +1,114 @@
+#include "src/sim/scenario.h"
+
+#include "src/util/stats.h"
+
+namespace ras {
+
+RegionScenario::RegionScenario(const ScenarioOptions& options)
+    : fleet(GenerateFleet(options.fleet)), rng(options.seed) {
+  broker = std::make_unique<ResourceBroker>(&fleet.topology);
+  twine = std::make_unique<TwineAllocator>(&fleet.catalog, broker.get());
+  mover = std::make_unique<OnlineMover>(broker.get(), &registry, twine.get());
+  greedy = std::make_unique<GreedyAssigner>(&fleet.catalog, broker.get());
+  health = std::make_unique<HealthCheckService>(broker.get());
+  solver.mutable_config() = options.solver;
+  shared_buffer_ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog,
+                                          options.shared_buffer_fraction);
+}
+
+void RegionScenario::ArmHealth(SimDuration horizon) {
+  HealthEventGenerator generator(&fleet.topology, HealthRates());
+  Rng health_rng = rng.Fork();
+  health->LoadSchedule(generator.GenerateSchedule(loop.now(), horizon, health_rng));
+  health->SetFailureCallback(
+      [this](ServerId id, HealthEventKind kind) {
+        // Correlated failures are absorbed by embedded buffers (no mover
+        // action, Section 3.3.1); random failures get fast replacement.
+        if (kind != HealthEventKind::kMsbCorrelatedFailure) {
+          mover->HandleFailure(id);
+        }
+      });
+}
+
+Result<SolveStats> RegionScenario::SolveRound() {
+  Result<SolveStats> stats = solver.SolveOnce(*broker, registry, fleet.catalog);
+  if (stats.ok()) {
+    mover->ReconcileAll();
+    twine->RetryPending();
+  }
+  return stats;
+}
+
+std::vector<double> RegionScenario::MsbPowerDraw() const {
+  const RegionTopology& topo = fleet.topology;
+  std::vector<double> draw(topo.num_msbs(), 0.0);
+  for (const Server& s : topo.servers()) {
+    const ServerRecord& rec = broker->record(s.id);
+    double watts = fleet.catalog.type(s.type).power_watts;
+    if (rec.has_containers) {
+      // Busy server: full draw.
+    } else if (rec.current != kUnassigned) {
+      watts *= 0.6;  // Allocated but idle.
+    } else {
+      watts *= 0.3;  // Powered-on free pool.
+    }
+    draw[s.msb] += watts;
+  }
+  return draw;
+}
+
+double RegionScenario::PowerUtilizationVariance() const {
+  const RegionTopology& topo = fleet.topology;
+  std::vector<double> peak(topo.num_msbs(), 0.0);
+  for (const Server& s : topo.servers()) {
+    peak[s.msb] += fleet.catalog.type(s.type).power_watts;
+  }
+  std::vector<double> draw = MsbPowerDraw();
+  std::vector<double> utilization;
+  utilization.reserve(draw.size());
+  for (size_t m = 0; m < draw.size(); ++m) {
+    if (peak[m] > 0) {
+      utilization.push_back(draw[m] / peak[m]);
+    }
+  }
+  return Variance(utilization);
+}
+
+double RegionScenario::CrossDcTrafficFraction(
+    ReservationId reservation, const std::map<DatacenterId, double>& data_share) const {
+  const RegionTopology& topo = fleet.topology;
+  std::vector<double> compute(topo.num_datacenters(), 0.0);
+  double total = 0.0;
+  for (ServerId id : broker->ServersInReservation(reservation)) {
+    const Server& s = topo.server(id);
+    double units = fleet.catalog.type(s.type).compute_units;
+    compute[s.dc] += units;
+    total += units;
+  }
+  if (total <= 0) {
+    return 0.0;
+  }
+  double local = 0.0;
+  for (const auto& [dc, share] : data_share) {
+    if (dc < compute.size()) {
+      local += (compute[dc] / total) * share;
+    }
+  }
+  return 1.0 - local;
+}
+
+double RegionScenario::UnavailableFraction(bool planned) const {
+  size_t count = 0;
+  for (ServerId id = 0; id < broker->num_servers(); ++id) {
+    Unavailability u = broker->record(id).unavailability;
+    if (planned && u == Unavailability::kPlannedMaintenance) {
+      ++count;
+    }
+    if (!planned && IsUnplanned(u)) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(broker->num_servers());
+}
+
+}  // namespace ras

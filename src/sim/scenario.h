@@ -1,0 +1,71 @@
+// Region scenario: wires every subsystem — synthetic fleet, Resource Broker,
+// Health Check Service, Twine allocator, Online Mover, and the Async Solver —
+// into one simulated region, with the metric probes the evaluation figures
+// report (max-MSB share, power variance, cross-DC traffic, churn).
+
+#ifndef RAS_SRC_SIM_SCENARIO_H_
+#define RAS_SRC_SIM_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/ras.h"
+#include "src/fleet/fleet_gen.h"
+#include "src/health/health.h"
+#include "src/sim/event_loop.h"
+#include "src/twine/allocator.h"
+#include "src/twine/greedy_assigner.h"
+
+namespace ras {
+
+struct ScenarioOptions {
+  FleetOptions fleet;
+  HealthRates health;
+  SolverConfig solver;
+  double shared_buffer_fraction = 0.02;
+  uint64_t seed = 42;
+};
+
+class RegionScenario {
+ public:
+  explicit RegionScenario(const ScenarioOptions& options);
+
+  // --- Components (public: benches drive them directly) ---
+  Fleet fleet;
+  std::unique_ptr<ResourceBroker> broker;
+  ReservationRegistry registry;
+  std::unique_ptr<TwineAllocator> twine;
+  std::unique_ptr<OnlineMover> mover;
+  std::unique_ptr<GreedyAssigner> greedy;
+  std::unique_ptr<HealthCheckService> health;
+  AsyncSolver solver;
+  EventLoop loop;
+  Rng rng;
+  std::vector<ReservationId> shared_buffer_ids;
+
+  // Generates and loads the health schedule for [0, horizon), and wires the
+  // failure callback to the Online Mover's fast replacement path.
+  void ArmHealth(SimDuration horizon);
+
+  // One solver round: solve + persist targets + reconcile + retry pending
+  // container placements. Returns the stats.
+  Result<SolveStats> SolveRound();
+
+  // --- Metric probes ---
+  // Per-MSB power draw (watts), from allocated/idle/free server states.
+  std::vector<double> MsbPowerDraw() const;
+  // Variance of per-MSB power utilization (power / MSB peak power).
+  double PowerUtilizationVariance() const;
+  // 1 - sum_dc (compute share in dc * data share in dc): the fraction of a
+  // service's traffic that must cross datacenters under a uniform
+  // compute-talks-to-data model.
+  double CrossDcTrafficFraction(ReservationId reservation,
+                                const std::map<DatacenterId, double>& data_share) const;
+  // Fraction of the fleet currently unavailable, split by planned/unplanned.
+  double UnavailableFraction(bool planned) const;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_SIM_SCENARIO_H_

@@ -1,0 +1,338 @@
+#include "src/solver/mip.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+namespace ras {
+
+const char* MipStatusName(MipStatus status) {
+  switch (status) {
+    case MipStatus::kOptimal:
+      return "OPTIMAL";
+    case MipStatus::kFeasible:
+      return "FEASIBLE";
+    case MipStatus::kInfeasible:
+      return "INFEASIBLE";
+    case MipStatus::kUnbounded:
+      return "UNBOUNDED";
+    case MipStatus::kNoSolutionFound:
+      return "NO_SOLUTION_FOUND";
+    case MipStatus::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+struct Node {
+  std::vector<BoundOverride> overrides;
+  double parent_bound;  // LP objective of the parent; used for best-bound pruning.
+  int depth;
+};
+
+// Picks the integer variable whose LP value is farthest from integral.
+int32_t MostFractional(const Model& model, const std::vector<double>& x, double tol) {
+  int32_t best = -1;
+  double best_frac = tol;
+  for (size_t j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) {
+      continue;
+    }
+    double frac = std::fabs(x[j] - std::round(x[j]));
+    // Distance from the nearest half-integer measures branching value.
+    double score = 0.5 - std::fabs(frac - 0.5);
+    (void)score;
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = static_cast<int32_t>(j);
+    }
+  }
+  return best;
+}
+
+// Applies node overrides on top of model bounds for one variable.
+void EffectiveBounds(const Model& model, const std::vector<BoundOverride>& overrides, VarId var,
+                     double* lb, double* ub) {
+  *lb = model.variable(var).lb;
+  *ub = model.variable(var).ub;
+  for (const BoundOverride& o : overrides) {
+    if (o.var == var) {
+      *lb = o.lb;
+      *ub = o.ub;
+    }
+  }
+}
+
+// Fix-and-solve rounding heuristic: round every integer variable of an LP
+// point to the nearest integer (within the node's bounds), fix them there,
+// and re-solve the LP over the remaining continuous variables. In models
+// whose hard constraints are softened by slack variables (like the RAS
+// model), the restricted LP is almost always feasible, which turns nearly
+// every fractional LP optimum into a genuine incumbent.
+bool TryFixAndSolve(const Model& model, const std::vector<BoundOverride>& node_overrides,
+                    const std::vector<double>& x_lp, SimplexSolver& lp_solver,
+                    std::vector<double>* candidate) {
+  const size_t n = model.num_variables();
+  std::vector<double> lo(n), hi(n);
+  for (size_t j = 0; j < n; ++j) {
+    lo[j] = model.variable(j).lb;
+    hi[j] = model.variable(j).ub;
+  }
+  for (const BoundOverride& o : node_overrides) {
+    lo[static_cast<size_t>(o.var)] = o.lb;
+    hi[static_cast<size_t>(o.var)] = o.ub;
+  }
+  std::vector<double> rounded_value(n);
+  for (size_t j = 0; j < n; ++j) {
+    rounded_value[j] = model.variable(j).is_integer
+                           ? std::clamp(std::round(x_lp[j]), lo[j], hi[j])
+                           : x_lp[j];
+  }
+
+  // Repair pass: nearest-rounding can push a row past its bound when several
+  // fractional variables share it (e.g. two 0.5s on a tight supply row both
+  // rounding up). Walk each violated row and undo the cheapest roundings —
+  // the ones that moved least from the LP value — until the row fits again.
+  for (size_t r = 0; r < model.num_rows(); ++r) {
+    const ModelRow& row = model.row(r);
+    double activity = 0.0;
+    for (const RowEntry& e : model.row_entries(r)) {
+      activity += e.coeff * rounded_value[e.var];
+    }
+    for (int direction = 0; direction < 2; ++direction) {
+      bool over = direction == 0;
+      while (over ? activity > row.ub + 1e-9 : activity < row.lb - 1e-9) {
+        // Find the integer var whose unit step toward the LP value best
+        // reduces the violation, breaking ties by smallest rounding delta.
+        VarId best = -1;
+        double best_tie = kInf;
+        int best_step = 0;
+        for (const RowEntry& e : model.row_entries(r)) {
+          if (!model.variable(e.var).is_integer || e.coeff == 0.0) {
+            continue;
+          }
+          // Step that reduces activity when over, increases when under.
+          int step = (over == (e.coeff > 0)) ? -1 : +1;
+          double next = rounded_value[e.var] + step;
+          if (next < lo[e.var] - 1e-9 || next > hi[e.var] + 1e-9) {
+            continue;
+          }
+          double tie = std::fabs(next - x_lp[e.var]);
+          if (tie < best_tie) {
+            best_tie = tie;
+            best = e.var;
+            best_step = step;
+          }
+        }
+        if (best < 0) {
+          break;  // Row not repairable by integer steps; let the LP decide.
+        }
+        double coeff = 0.0;
+        for (const RowEntry& e : model.row_entries(r)) {
+          if (e.var == best) {
+            coeff += e.coeff;
+          }
+        }
+        rounded_value[static_cast<size_t>(best)] += best_step;
+        activity += coeff * best_step;
+      }
+    }
+  }
+
+  std::vector<BoundOverride> overrides = node_overrides;
+  for (size_t j = 0; j < n; ++j) {
+    if (model.variable(j).is_integer) {
+      overrides.push_back(
+          BoundOverride{static_cast<VarId>(j), rounded_value[j], rounded_value[j]});
+    }
+  }
+  LpResult fixed = lp_solver.ResolveWithBasis(model, overrides);
+  if (fixed.status != LpStatus::kOptimal) {
+    return false;
+  }
+  *candidate = std::move(fixed.x);
+  // Snap the fixed integers exactly (the LP reports them to tolerance).
+  for (size_t j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(j).is_integer) {
+      (*candidate)[j] = std::round((*candidate)[j]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MipResult MipSolver::Solve(const Model& model, const std::vector<double>* warm_start) {
+  auto start_time = std::chrono::steady_clock::now();
+  auto elapsed = [&start_time]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+  };
+
+  MipResult result;
+  result.best_bound = -kInf;
+
+  bool have_incumbent = false;
+  std::vector<double> incumbent;
+  double incumbent_obj = kInf;
+  if (warm_start != nullptr && model.IsFeasible(*warm_start, options_.integrality_tol * 10)) {
+    incumbent = *warm_start;
+    incumbent_obj = model.Objective(incumbent);
+    have_incumbent = true;
+  }
+
+  SimplexSolver lp_solver(options_.lp);
+  // Separate solver for the fix-and-solve heuristic: consecutive heuristic
+  // LPs have near-identical bounds, so they warm-start each other, and the
+  // node chain's basis in lp_solver is never disturbed.
+  SimplexSolver heuristic_solver(options_.lp);
+
+  // Depth-first with a deque: children of the most recent node are explored
+  // first (good for finding incumbents fast), while `parent_bound` prunes
+  // against the incumbent. Root node has no overrides.
+  std::deque<Node> open;
+  open.push_back(Node{{}, -kInf, 0});
+  double best_open_bound = -kInf;  // Root LP bound once known.
+  bool root_solved = false;
+  bool unbounded = false;
+
+  while (!open.empty()) {
+    if (result.nodes >= options_.max_nodes || elapsed() > options_.time_limit_seconds) {
+      result.hit_time_limit = elapsed() > options_.time_limit_seconds;
+      break;
+    }
+    Node node = std::move(open.back());
+    open.pop_back();
+
+    // Prune by parent bound before paying for an LP solve.
+    if (have_incumbent && node.parent_bound > incumbent_obj - options_.absolute_gap) {
+      continue;
+    }
+
+    ++result.nodes;
+    // Children differ from their parent by one bound; reuse the last basis.
+    LpResult lp = result.nodes == 1 ? lp_solver.Solve(model, node.overrides)
+                                    : lp_solver.ResolveWithBasis(model, node.overrides);
+    if (lp.status == LpStatus::kInfeasible) {
+      continue;
+    }
+    if (lp.status == LpStatus::kUnbounded) {
+      unbounded = true;
+      break;
+    }
+    if (lp.status != LpStatus::kOptimal) {
+      // Numerical trouble or iteration limit on one node: skip it. The
+      // incumbent (if any) remains valid; the bound becomes approximate.
+      continue;
+    }
+    if (!root_solved) {
+      best_open_bound = lp.objective;
+      root_solved = true;
+    }
+    if (have_incumbent && lp.objective > incumbent_obj - options_.absolute_gap) {
+      continue;  // Bound prune.
+    }
+
+    int32_t branch_var = MostFractional(model, lp.x, options_.integrality_tol);
+    if (branch_var < 0) {
+      // Integer feasible.
+      double obj = lp.objective;
+      if (!have_incumbent || obj < incumbent_obj) {
+        incumbent = lp.x;
+        // Snap integers exactly.
+        for (size_t j = 0; j < model.num_variables(); ++j) {
+          if (model.variable(j).is_integer) {
+            incumbent[j] = std::round(incumbent[j]);
+          }
+        }
+        incumbent_obj = model.Objective(incumbent);
+        have_incumbent = true;
+      }
+      continue;
+    }
+
+    // Fix-and-solve heuristic at shallow depths and periodically deeper in
+    // the tree: turns the fractional LP point into a feasible incumbent.
+    if (node.depth <= 2 || result.nodes % 16 == 0) {
+      std::vector<double> rounded;
+      bool produced =
+          options_.heuristic
+              ? options_.heuristic(model, lp.x, &rounded)
+              : TryFixAndSolve(model, node.overrides, lp.x, heuristic_solver, &rounded);
+      if (produced && model.IsFeasible(rounded, options_.integrality_tol * 100)) {
+        double obj = model.Objective(rounded);
+        if (!have_incumbent || obj < incumbent_obj) {
+          incumbent = std::move(rounded);
+          incumbent_obj = obj;
+          have_incumbent = true;
+        }
+      }
+    }
+
+    double lp_value = lp.x[branch_var];
+    double floor_val = std::floor(lp_value);
+    double lb, ub;
+    EffectiveBounds(model, node.overrides, branch_var, &lb, &ub);
+
+    Node down{node.overrides, lp.objective, node.depth + 1};
+    down.overrides.push_back(BoundOverride{branch_var, lb, floor_val});
+    Node up{node.overrides, lp.objective, node.depth + 1};
+    up.overrides.push_back(BoundOverride{branch_var, floor_val + 1.0, ub});
+
+    // Explore the child nearest the LP value first (pushed last => popped first).
+    if (lp_value - floor_val > 0.5) {
+      open.push_back(std::move(down));
+      open.push_back(std::move(up));
+    } else {
+      open.push_back(std::move(up));
+      open.push_back(std::move(down));
+    }
+  }
+
+  result.solve_seconds = elapsed();
+
+  if (unbounded) {
+    result.status = MipStatus::kUnbounded;
+    return result;
+  }
+
+  // Best proven bound: min over open nodes' parent bounds and the incumbent.
+  double open_bound = kInf;
+  for (const Node& n : open) {
+    open_bound = std::min(open_bound, n.parent_bound);
+  }
+  if (open.empty()) {
+    result.best_bound = have_incumbent ? incumbent_obj : kInf;
+  } else {
+    // Unexplored nodes with unknown bounds inherit the root bound.
+    if (open_bound == -kInf) {
+      open_bound = root_solved ? best_open_bound : -kInf;
+    }
+    result.best_bound = have_incumbent ? std::min(open_bound, incumbent_obj) : open_bound;
+  }
+
+  if (have_incumbent) {
+    result.x = std::move(incumbent);
+    result.objective = incumbent_obj;
+    bool proven = open.empty() ||
+                  result.objective - result.best_bound <= options_.absolute_gap ||
+                  (std::fabs(result.objective) > 1 &&
+                   (result.objective - result.best_bound) / std::fabs(result.objective) <=
+                       options_.relative_gap);
+    result.status = proven ? MipStatus::kOptimal : MipStatus::kFeasible;
+    if (proven) {
+      result.best_bound = result.objective;
+    }
+  } else if (open.empty() && result.nodes > 0 && !result.hit_time_limit &&
+             result.nodes < options_.max_nodes) {
+    result.status = MipStatus::kInfeasible;
+  } else {
+    result.status = MipStatus::kNoSolutionFound;
+  }
+  return result;
+}
+
+}  // namespace ras

@@ -1,0 +1,78 @@
+// Branch-and-bound mixed-integer solver on top of the bounded simplex.
+//
+// Features used by RAS (Section 3.5): warm starting from a known feasible
+// assignment (the "initial state" step), a hard time limit with best-incumbent
+// return (the paper's phase-1 timeout), and reporting of the remaining
+// optimality gap (Figure 9 measures solution quality in units of the model's
+// move / constraint-fix costs).
+
+#ifndef RAS_SRC_SOLVER_MIP_H_
+#define RAS_SRC_SOLVER_MIP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/solver/model.h"
+#include "src/solver/simplex.h"
+
+namespace ras {
+
+enum class MipStatus {
+  kOptimal,          // Incumbent proven optimal within gap tolerances.
+  kFeasible,         // Incumbent found but search stopped early (time/nodes).
+  kInfeasible,       // No integer-feasible point exists.
+  kUnbounded,
+  kNoSolutionFound,  // Search stopped early with no incumbent.
+  kError,
+};
+
+const char* MipStatusName(MipStatus status);
+
+// Problem-specific primal heuristic: turn a (fractional) LP point into a
+// feasible integer candidate. Return false if no candidate was produced.
+// The caller validates feasibility and objective before accepting it.
+using MipHeuristic =
+    std::function<bool(const Model& model, const std::vector<double>& lp_x,
+                       std::vector<double>* candidate)>;
+
+struct MipOptions {
+  double time_limit_seconds = 120.0;
+  int64_t max_nodes = 200000;
+  double integrality_tol = 1e-6;
+  double absolute_gap = 1e-6;
+  double relative_gap = 1e-6;
+  LpOptions lp;
+  // When set, used instead of the built-in generic fix-and-solve rounding.
+  // RAS installs an LP-guided greedy that understands the assignment
+  // structure (src/core/lp_rounding).
+  MipHeuristic heuristic;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::kError;
+  std::vector<double> x;      // Best incumbent (empty if none).
+  double objective = 0.0;     // Incumbent objective.
+  double best_bound = 0.0;    // Proven lower bound on the optimum.
+  int64_t nodes = 0;
+  double solve_seconds = 0.0;
+  bool hit_time_limit = false;
+
+  double gap() const { return objective - best_bound; }
+};
+
+class MipSolver {
+ public:
+  explicit MipSolver(const MipOptions& options = MipOptions()) : options_(options) {}
+
+  // `warm_start`, if provided and feasible for `model`, seeds the incumbent;
+  // infeasible warm starts are ignored.
+  MipResult Solve(const Model& model, const std::vector<double>* warm_start = nullptr);
+
+ private:
+  MipOptions options_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_SOLVER_MIP_H_

@@ -1,0 +1,110 @@
+#include "src/solver/model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ras {
+
+VarId Model::AddVariable(double lb, double ub, double cost, bool is_integer, std::string name) {
+  assert(lb <= ub);
+  ModelVariable v;
+  v.lb = lb;
+  v.ub = ub;
+  v.cost = cost;
+  v.is_integer = is_integer;
+  v.name = std::move(name);
+  variables_.push_back(std::move(v));
+  if (is_integer) {
+    ++num_integers_;
+  }
+  return static_cast<VarId>(variables_.size() - 1);
+}
+
+RowId Model::AddRow(double lb, double ub, std::string name) {
+  assert(lb <= ub);
+  ModelRow r;
+  r.lb = lb;
+  r.ub = ub;
+  r.name = std::move(name);
+  rows_.push_back(std::move(r));
+  entries_.emplace_back();
+  return static_cast<RowId>(rows_.size() - 1);
+}
+
+void Model::AddCoefficient(RowId row, VarId var, double coeff) {
+  assert(row >= 0 && static_cast<size_t>(row) < rows_.size());
+  assert(var >= 0 && static_cast<size_t>(var) < variables_.size());
+  if (coeff == 0.0) {
+    return;
+  }
+  entries_[row].push_back(RowEntry{var, coeff});
+  ++nonzeros_;
+}
+
+void Model::SetVariableBounds(VarId var, double lb, double ub) {
+  assert(lb <= ub);
+  variables_[var].lb = lb;
+  variables_[var].ub = ub;
+}
+
+void Model::SetRowBounds(RowId row, double lb, double ub) {
+  assert(lb <= ub);
+  rows_[row].lb = lb;
+  rows_[row].ub = ub;
+}
+
+void Model::SetObjectiveCost(VarId var, double cost) { variables_[var].cost = cost; }
+
+double Model::Objective(const std::vector<double>& x) const {
+  assert(x.size() == variables_.size());
+  double obj = 0.0;
+  for (size_t j = 0; j < variables_.size(); ++j) {
+    obj += variables_[j].cost * x[j];
+  }
+  return obj;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != variables_.size()) {
+    return false;
+  }
+  for (size_t j = 0; j < variables_.size(); ++j) {
+    const ModelVariable& v = variables_[j];
+    if (x[j] < v.lb - tol || x[j] > v.ub + tol) {
+      return false;
+    }
+    if (v.is_integer && std::fabs(x[j] - std::round(x[j])) > tol) {
+      return false;
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    double activity = 0.0;
+    for (const RowEntry& e : entries_[r]) {
+      activity += e.coeff * x[e.var];
+    }
+    // Scale the tolerance mildly with activity magnitude for long rows.
+    double row_tol = tol * (1.0 + std::fabs(activity));
+    if (activity < rows_[r].lb - row_tol || activity > rows_[r].ub + row_tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t Model::MemoryBytes() const {
+  size_t bytes = variables_.capacity() * sizeof(ModelVariable) +
+                 rows_.capacity() * sizeof(ModelRow) +
+                 entries_.capacity() * sizeof(std::vector<RowEntry>);
+  for (const auto& row : entries_) {
+    bytes += row.capacity() * sizeof(RowEntry);
+  }
+  for (const auto& v : variables_) {
+    bytes += v.name.capacity();
+  }
+  for (const auto& r : rows_) {
+    bytes += r.name.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace ras

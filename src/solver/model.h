@@ -1,0 +1,90 @@
+// Linear / mixed-integer model container.
+//
+// A model is a set of variables with bounds and objective costs, and a set of
+// rows of the form `row_lb <= a.x <= row_ub`. The solver minimizes. Rows are
+// built row-wise (the natural order for the RAS model builder) and the
+// simplex transposes into column-major form internally.
+
+#ifndef RAS_SRC_SOLVER_MODEL_H_
+#define RAS_SRC_SOLVER_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ras {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using VarId = int32_t;
+using RowId = int32_t;
+
+struct ModelVariable {
+  double lb = 0.0;
+  double ub = kInf;
+  double cost = 0.0;
+  bool is_integer = false;
+  std::string name;
+};
+
+struct ModelRow {
+  double lb = -kInf;
+  double ub = kInf;
+  std::string name;
+};
+
+struct RowEntry {
+  VarId var;
+  double coeff;
+};
+
+class Model {
+ public:
+  VarId AddVariable(double lb, double ub, double cost, bool is_integer, std::string name = "");
+  // Convenience wrappers.
+  VarId AddContinuous(double lb, double ub, double cost, std::string name = "") {
+    return AddVariable(lb, ub, cost, /*is_integer=*/false, std::move(name));
+  }
+  VarId AddInteger(double lb, double ub, double cost, std::string name = "") {
+    return AddVariable(lb, ub, cost, /*is_integer=*/true, std::move(name));
+  }
+
+  RowId AddRow(double lb, double ub, std::string name = "");
+  // Appends a coefficient to a row. Duplicate (row, var) pairs are summed
+  // when the column-major form is built.
+  void AddCoefficient(RowId row, VarId var, double coeff);
+
+  void SetVariableBounds(VarId var, double lb, double ub);
+  void SetRowBounds(RowId row, double lb, double ub);
+  void SetObjectiveCost(VarId var, double cost);
+
+  size_t num_variables() const { return variables_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_nonzeros() const { return nonzeros_; }
+  const ModelVariable& variable(VarId v) const { return variables_[v]; }
+  const ModelRow& row(RowId r) const { return rows_[r]; }
+  const std::vector<RowEntry>& row_entries(RowId r) const { return entries_[r]; }
+  size_t num_integer_variables() const { return num_integers_; }
+
+  // Evaluates the objective at a point.
+  double Objective(const std::vector<double>& x) const;
+
+  // Checks that `x` satisfies variable bounds, row bounds, and integrality,
+  // within `tol`. Used to validate warm starts and MIP incumbents.
+  bool IsFeasible(const std::vector<double>& x, double tol) const;
+
+  // Rough accounting of the model's heap footprint, for the Figure 11 bench.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<ModelVariable> variables_;
+  std::vector<ModelRow> rows_;
+  std::vector<std::vector<RowEntry>> entries_;
+  size_t nonzeros_ = 0;
+  size_t num_integers_ = 0;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_SOLVER_MODEL_H_

@@ -1,0 +1,623 @@
+#include "src/solver/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace ras {
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "OPTIMAL";
+    case LpStatus::kInfeasible:
+      return "INFEASIBLE";
+    case LpStatus::kUnbounded:
+      return "UNBOUNDED";
+    case LpStatus::kIterationLimit:
+      return "ITERATION_LIMIT";
+    case LpStatus::kNumericalFailure:
+      return "NUMERICAL_FAILURE";
+  }
+  return "UNKNOWN";
+}
+
+void SimplexSolver::BuildColumns(const Model& model, const std::vector<BoundOverride>& overrides) {
+  m_ = static_cast<int32_t>(model.num_rows());
+  n_ = static_cast<int32_t>(model.num_variables());
+  total_ = n_ + m_;
+
+  // Column-major structural matrix. Duplicate (row, var) entries are summed.
+  columns_.assign(n_, {});
+  std::vector<int32_t> col_sizes(n_, 0);
+  for (int32_t r = 0; r < m_; ++r) {
+    for (const RowEntry& e : model.row_entries(r)) {
+      ++col_sizes[e.var];
+    }
+  }
+  for (int32_t j = 0; j < n_; ++j) {
+    columns_[j].rows.reserve(col_sizes[j]);
+    columns_[j].values.reserve(col_sizes[j]);
+  }
+  for (int32_t r = 0; r < m_; ++r) {
+    for (const RowEntry& e : model.row_entries(r)) {
+      SparseColumn& col = columns_[e.var];
+      if (!col.rows.empty() && col.rows.back() == r) {
+        col.values.back() += e.coeff;  // Merge duplicates within a row.
+      } else {
+        col.rows.push_back(r);
+        col.values.push_back(e.coeff);
+      }
+    }
+  }
+
+  lb_.resize(total_);
+  ub_.resize(total_);
+  cost_.assign(total_, 0.0);
+  for (int32_t j = 0; j < n_; ++j) {
+    const ModelVariable& v = model.variable(j);
+    lb_[j] = v.lb;
+    ub_[j] = v.ub;
+    cost_[j] = v.cost;
+  }
+  for (const BoundOverride& o : overrides) {
+    assert(o.var >= 0 && o.var < n_);
+    lb_[o.var] = o.lb;
+    ub_[o.var] = o.ub;
+  }
+  for (int32_t i = 0; i < m_; ++i) {
+    const ModelRow& row = model.row(i);
+    lb_[n_ + i] = row.lb;
+    ub_[n_ + i] = row.ub;
+  }
+}
+
+void SimplexSolver::InitializeBasis() {
+  basis_.resize(m_);
+  status_.assign(total_, ColStatus::kAtLower);
+  basis_pos_.assign(total_, -1);
+  value_.assign(total_, 0.0);
+
+  for (int32_t j = 0; j < total_; ++j) {
+    if (std::isfinite(lb_[j])) {
+      status_[j] = ColStatus::kAtLower;
+      value_[j] = lb_[j];
+    } else if (std::isfinite(ub_[j])) {
+      status_[j] = ColStatus::kAtUpper;
+      value_[j] = ub_[j];
+    } else {
+      status_[j] = ColStatus::kFree;
+      value_[j] = 0.0;
+    }
+  }
+  // All-slack basis. B = -I so B^-1 = -I.
+  binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+  for (int32_t i = 0; i < m_; ++i) {
+    int32_t col = n_ + i;
+    basis_[i] = col;
+    basis_pos_[col] = i;
+    status_[col] = ColStatus::kBasic;
+    binv_[static_cast<size_t>(i) * m_ + i] = -1.0;
+  }
+  ComputeBasicValues();
+}
+
+bool SimplexSolver::Refactorize() {
+  // Dense Gauss-Jordan inversion of the basis matrix with partial pivoting.
+  // O(m^3); called every refactor_interval pivots to cap inverse drift.
+  std::vector<double> mat(static_cast<size_t>(m_) * m_, 0.0);
+  for (int32_t pos = 0; pos < m_; ++pos) {
+    int32_t col = basis_[pos];
+    if (col >= n_) {
+      mat[static_cast<size_t>(col - n_) * m_ + pos] = -1.0;  // Slack column -e_i.
+    } else {
+      const SparseColumn& c = columns_[col];
+      for (size_t k = 0; k < c.rows.size(); ++k) {
+        mat[static_cast<size_t>(c.rows[k]) * m_ + pos] = c.values[k];
+      }
+    }
+  }
+  std::vector<double> inv(static_cast<size_t>(m_) * m_, 0.0);
+  for (int32_t i = 0; i < m_; ++i) {
+    inv[static_cast<size_t>(i) * m_ + i] = 1.0;
+  }
+  for (int32_t col = 0; col < m_; ++col) {
+    // Pivot search in column `col` at or below the diagonal.
+    int32_t pivot_row = -1;
+    double best = 1e-11;
+    for (int32_t r = col; r < m_; ++r) {
+      double v = std::fabs(mat[static_cast<size_t>(r) * m_ + col]);
+      if (v > best) {
+        best = v;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row < 0) {
+      return false;  // Singular basis.
+    }
+    if (pivot_row != col) {
+      for (int32_t c = 0; c < m_; ++c) {
+        std::swap(mat[static_cast<size_t>(pivot_row) * m_ + c],
+                  mat[static_cast<size_t>(col) * m_ + c]);
+        std::swap(inv[static_cast<size_t>(pivot_row) * m_ + c],
+                  inv[static_cast<size_t>(col) * m_ + c]);
+      }
+    }
+    double pivot = mat[static_cast<size_t>(col) * m_ + col];
+    double inv_pivot = 1.0 / pivot;
+    double* mat_row = &mat[static_cast<size_t>(col) * m_];
+    double* inv_row = &inv[static_cast<size_t>(col) * m_];
+    for (int32_t c = 0; c < m_; ++c) {
+      mat_row[c] *= inv_pivot;
+      inv_row[c] *= inv_pivot;
+    }
+    for (int32_t r = 0; r < m_; ++r) {
+      if (r == col) {
+        continue;
+      }
+      double factor = mat[static_cast<size_t>(r) * m_ + col];
+      if (factor == 0.0) {
+        continue;
+      }
+      double* mr = &mat[static_cast<size_t>(r) * m_];
+      double* ir = &inv[static_cast<size_t>(r) * m_];
+      for (int32_t c = 0; c < m_; ++c) {
+        mr[c] -= factor * mat_row[c];
+        ir[c] -= factor * inv_row[c];
+      }
+    }
+  }
+  binv_ = std::move(inv);
+  return true;
+}
+
+void SimplexSolver::ComputeBasicValues() {
+  // x_B = B^-1 * r where r_i = -(sum over nonbasic j of a_ij x_j). The rhs is
+  // zero because every row's constant lives in its slack bounds.
+  std::vector<double> r(m_, 0.0);
+  for (int32_t j = 0; j < n_; ++j) {
+    if (status_[j] == ColStatus::kBasic || value_[j] == 0.0) {
+      continue;
+    }
+    const SparseColumn& c = columns_[j];
+    double xj = value_[j];
+    for (size_t k = 0; k < c.rows.size(); ++k) {
+      r[c.rows[k]] -= c.values[k] * xj;
+    }
+  }
+  for (int32_t i = 0; i < m_; ++i) {
+    int32_t col = n_ + i;
+    if (status_[col] != ColStatus::kBasic && value_[col] != 0.0) {
+      r[i] += value_[col];  // Slack column is -e_i, so -(-1 * x) = +x.
+    }
+  }
+  for (int32_t pos = 0; pos < m_; ++pos) {
+    const double* row = &binv_[static_cast<size_t>(pos) * m_];
+    double sum = 0.0;
+    for (int32_t i = 0; i < m_; ++i) {
+      sum += row[i] * r[i];
+    }
+    value_[basis_[pos]] = sum;
+  }
+}
+
+void SimplexSolver::Ftran(int32_t col, std::vector<double>& alpha) const {
+  // alpha = B^-1 * A_col.
+  alpha.assign(m_, 0.0);
+  if (col >= n_) {
+    int32_t r = col - n_;
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      alpha[pos] = -binv_[static_cast<size_t>(pos) * m_ + r];
+    }
+    return;
+  }
+  const SparseColumn& c = columns_[col];
+  for (size_t k = 0; k < c.rows.size(); ++k) {
+    int32_t r = c.rows[k];
+    double v = c.values[k];
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      alpha[pos] += binv_[static_cast<size_t>(pos) * m_ + r] * v;
+    }
+  }
+}
+
+double SimplexSolver::TotalInfeasibility() const {
+  double total = 0.0;
+  for (int32_t pos = 0; pos < m_; ++pos) {
+    int32_t col = basis_[pos];
+    double x = value_[col];
+    if (x < lb_[col]) {
+      total += lb_[col] - x;
+    } else if (x > ub_[col]) {
+      total += x - ub_[col];
+    }
+  }
+  return total;
+}
+
+void SimplexSolver::RefreshBounds(const Model& model, const std::vector<BoundOverride>& overrides) {
+  for (int32_t j = 0; j < n_; ++j) {
+    const ModelVariable& v = model.variable(j);
+    lb_[j] = v.lb;
+    ub_[j] = v.ub;
+    cost_[j] = v.cost;
+  }
+  for (const BoundOverride& o : overrides) {
+    lb_[o.var] = o.lb;
+    ub_[o.var] = o.ub;
+  }
+  for (int32_t i = 0; i < m_; ++i) {
+    const ModelRow& row = model.row(i);
+    lb_[n_ + i] = row.lb;
+    ub_[n_ + i] = row.ub;
+  }
+}
+
+LpResult SimplexSolver::Solve(const Model& model, const std::vector<BoundOverride>& overrides) {
+  basis_valid_ = false;
+  BuildColumns(model, overrides);
+  // Reject empty-range variables early (branching can create lb > ub).
+  for (int32_t j = 0; j < total_; ++j) {
+    if (lb_[j] > ub_[j]) {
+      LpResult result;
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+  }
+  InitializeBasis();
+  LpResult result = RunSimplex(model);
+  if (result.status == LpStatus::kOptimal) {
+    basis_valid_ = true;
+    prepared_rows_ = model.num_rows();
+    prepared_vars_ = model.num_variables();
+    prepared_nonzeros_ = model.num_nonzeros();
+  }
+  return result;
+}
+
+LpResult SimplexSolver::ResolveWithBasis(const Model& model,
+                                         const std::vector<BoundOverride>& overrides) {
+  if (!basis_valid_ || prepared_rows_ != model.num_rows() ||
+      prepared_vars_ != model.num_variables() || prepared_nonzeros_ != model.num_nonzeros()) {
+    return Solve(model, overrides);
+  }
+  RefreshBounds(model, overrides);
+  for (int32_t j = 0; j < total_; ++j) {
+    if (lb_[j] > ub_[j]) {
+      LpResult result;
+      result.status = LpStatus::kInfeasible;
+      return result;  // Retained basis stays valid for the next resolve.
+    }
+  }
+  // Re-snap nonbasic variables onto their (possibly moved) bounds; the basis
+  // matrix is untouched, so binv_ remains exact.
+  for (int32_t j = 0; j < total_; ++j) {
+    switch (status_[j]) {
+      case ColStatus::kBasic:
+        break;
+      case ColStatus::kAtLower:
+        if (std::isfinite(lb_[j])) {
+          value_[j] = lb_[j];
+        } else if (std::isfinite(ub_[j])) {
+          status_[j] = ColStatus::kAtUpper;
+          value_[j] = ub_[j];
+        } else {
+          status_[j] = ColStatus::kFree;
+          value_[j] = 0.0;
+        }
+        break;
+      case ColStatus::kAtUpper:
+        if (std::isfinite(ub_[j])) {
+          value_[j] = ub_[j];
+        } else if (std::isfinite(lb_[j])) {
+          status_[j] = ColStatus::kAtLower;
+          value_[j] = lb_[j];
+        } else {
+          status_[j] = ColStatus::kFree;
+          value_[j] = 0.0;
+        }
+        break;
+      case ColStatus::kFree:
+        break;
+    }
+  }
+  ComputeBasicValues();
+  LpResult result = RunSimplex(model);
+  basis_valid_ = result.status == LpStatus::kOptimal;
+  return result;
+}
+
+LpResult SimplexSolver::RunSimplex(const Model& model) {
+  LpResult result;
+  const double ftol = options_.feasibility_tol;
+  const double dtol = options_.optimality_tol;
+  int64_t max_iters = options_.max_iterations > 0
+                          ? options_.max_iterations
+                          : 200 + 40LL * (static_cast<int64_t>(m_) + total_);
+
+  std::vector<double> y(m_);       // Pricing duals.
+  std::vector<double> alpha(m_);   // FTRAN result.
+  std::vector<double> cb(m_);      // Basic costs for the current phase.
+  int degenerate_run = 0;
+  bool bland = false;
+  int pivots_since_refactor = 0;
+
+  int64_t iter = 0;
+  for (; iter < max_iters; ++iter) {
+    // --- Phase selection: any basic bound violation => phase 1 pricing. ---
+    bool phase1 = false;
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      int32_t col = basis_[pos];
+      double x = value_[col];
+      if (x < lb_[col] - ftol || x > ub_[col] + ftol) {
+        phase1 = true;
+        break;
+      }
+    }
+
+    // --- Pricing: y = cB^T B^-1, then reduced costs per nonbasic column. ---
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      int32_t col = basis_[pos];
+      if (phase1) {
+        double x = value_[col];
+        if (x > ub_[col] + ftol) {
+          cb[pos] = 1.0;
+        } else if (x < lb_[col] - ftol) {
+          cb[pos] = -1.0;
+        } else {
+          cb[pos] = 0.0;
+        }
+      } else {
+        cb[pos] = cost_[col];
+      }
+    }
+    for (int32_t i = 0; i < m_; ++i) {
+      double sum = 0.0;
+      for (int32_t pos = 0; pos < m_; ++pos) {
+        if (cb[pos] != 0.0) {
+          sum += cb[pos] * binv_[static_cast<size_t>(pos) * m_ + i];
+        }
+      }
+      y[i] = sum;
+    }
+
+    int32_t entering = -1;
+    int entering_dir = 0;
+    double best_violation = dtol;
+    for (int32_t j = 0; j < total_; ++j) {
+      if (status_[j] == ColStatus::kBasic || lb_[j] == ub_[j]) {
+        continue;
+      }
+      double cj = phase1 ? 0.0 : cost_[j];
+      double yaj;
+      if (j >= n_) {
+        yaj = -y[j - n_];
+      } else {
+        const SparseColumn& c = columns_[j];
+        yaj = 0.0;
+        for (size_t k = 0; k < c.rows.size(); ++k) {
+          yaj += y[c.rows[k]] * c.values[k];
+        }
+      }
+      double d = cj - yaj;
+      int dir = 0;
+      double violation = 0.0;
+      if (status_[j] == ColStatus::kAtLower && d < -dtol) {
+        dir = +1;
+        violation = -d;
+      } else if (status_[j] == ColStatus::kAtUpper && d > dtol) {
+        dir = -1;
+        violation = d;
+      } else if (status_[j] == ColStatus::kFree && std::fabs(d) > dtol) {
+        dir = d < 0 ? +1 : -1;
+        violation = std::fabs(d);
+      }
+      if (dir == 0) {
+        continue;
+      }
+      if (bland) {
+        entering = j;  // Bland: first eligible index.
+        entering_dir = dir;
+        break;
+      }
+      if (violation > best_violation) {
+        best_violation = violation;
+        entering = j;
+        entering_dir = dir;
+      }
+    }
+
+    if (entering < 0) {
+      // No improving direction for the current phase objective.
+      if (phase1) {
+        result.status = LpStatus::kInfeasible;
+        result.iterations = iter;
+        return result;
+      }
+      break;  // Optimal.
+    }
+
+    Ftran(entering, alpha);
+
+    // --- Ratio test. Basic k changes at rate -dir * alpha_k per unit of the
+    // entering variable's movement. In phase 1, an infeasible basic blocks
+    // only when it reaches the bound it is violating (a gradient breakpoint);
+    // a feasible basic blocks at whichever bound it is moving toward. ---
+    double best_step = kInf;
+    int32_t leaving_pos = -1;
+    double leaving_target = 0.0;
+    double best_pivot_mag = 0.0;
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      double a = alpha[pos];
+      if (std::fabs(a) < options_.pivot_tol) {
+        continue;
+      }
+      double rate = -static_cast<double>(entering_dir) * a;
+      int32_t col = basis_[pos];
+      double x = value_[col];
+      bool below = x < lb_[col] - ftol;
+      bool above = x > ub_[col] + ftol;
+      double target;
+      if (rate > 0) {
+        if (below) {
+          target = lb_[col];
+        } else if (above) {
+          continue;  // Moving further above; linear phase-1 cost, no breakpoint.
+        } else if (std::isfinite(ub_[col])) {
+          target = ub_[col];
+        } else {
+          continue;
+        }
+      } else {
+        if (above) {
+          target = ub_[col];
+        } else if (below) {
+          continue;
+        } else if (std::isfinite(lb_[col])) {
+          target = lb_[col];
+        } else {
+          continue;
+        }
+      }
+      double step = (target - x) / rate;
+      if (step < -ftol) {
+        step = 0.0;  // Tolerance-degenerate blocker.
+      }
+      if (step < best_step - 1e-12 ||
+          (step < best_step + 1e-12 && std::fabs(a) > best_pivot_mag)) {
+        best_step = std::max(step, 0.0);
+        leaving_pos = pos;
+        leaving_target = target;
+        best_pivot_mag = std::fabs(a);
+      }
+    }
+
+    // Entering variable's own bound range can also limit the step.
+    double own_range = ub_[entering] - lb_[entering];
+    bool own_blocks = false;
+    if (std::isfinite(own_range) && own_range < best_step) {
+      best_step = own_range;
+      own_blocks = true;
+    }
+
+    if (!own_blocks && leaving_pos < 0) {
+      result.status = phase1 ? LpStatus::kNumericalFailure : LpStatus::kUnbounded;
+      result.iterations = iter;
+      return result;
+    }
+
+    double step = best_step;
+    if (step < ftol) {
+      ++degenerate_run;
+      if (degenerate_run > options_.bland_trigger) {
+        bland = true;
+      }
+    } else {
+      degenerate_run = 0;
+      bland = false;
+    }
+
+    // --- Apply the move. ---
+    double delta = static_cast<double>(entering_dir) * step;
+    if (delta != 0.0) {
+      for (int32_t pos = 0; pos < m_; ++pos) {
+        if (alpha[pos] != 0.0) {
+          value_[basis_[pos]] -= alpha[pos] * delta;
+        }
+      }
+      value_[entering] += delta;
+    }
+
+    if (own_blocks) {
+      // Bound flip: the entering variable traverses its whole range; the
+      // basis is unchanged.
+      status_[entering] =
+          entering_dir > 0 ? ColStatus::kAtUpper : ColStatus::kAtLower;
+      value_[entering] = entering_dir > 0 ? ub_[entering] : lb_[entering];
+      continue;
+    }
+
+    // Pivot: basic at leaving_pos leaves at its blocking bound.
+    int32_t leaving_col = basis_[leaving_pos];
+    value_[leaving_col] = leaving_target;
+    status_[leaving_col] =
+        (leaving_target == lb_[leaving_col]) ? ColStatus::kAtLower : ColStatus::kAtUpper;
+    basis_pos_[leaving_col] = -1;
+
+    basis_[leaving_pos] = entering;
+    basis_pos_[entering] = leaving_pos;
+    status_[entering] = ColStatus::kBasic;
+
+    // Product-form update of the dense inverse: row ops with the eta column.
+    double pivot = alpha[leaving_pos];
+    double* pivot_row = &binv_[static_cast<size_t>(leaving_pos) * m_];
+    double inv_pivot = 1.0 / pivot;
+    for (int32_t i = 0; i < m_; ++i) {
+      pivot_row[i] *= inv_pivot;
+    }
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      if (pos == leaving_pos || alpha[pos] == 0.0) {
+        continue;
+      }
+      double factor = alpha[pos];
+      double* row = &binv_[static_cast<size_t>(pos) * m_];
+      for (int32_t i = 0; i < m_; ++i) {
+        row[i] -= factor * pivot_row[i];
+      }
+    }
+
+    if (++pivots_since_refactor >= options_.refactor_interval) {
+      pivots_since_refactor = 0;
+      if (!Refactorize()) {
+        result.status = LpStatus::kNumericalFailure;
+        result.iterations = iter;
+        return result;
+      }
+      ComputeBasicValues();
+    }
+  }
+
+  if (iter >= max_iters) {
+    result.status = LpStatus::kIterationLimit;
+    result.iterations = iter;
+    return result;
+  }
+
+  // Clean pass: refactorize and recompute values to wash out inverse drift,
+  // then verify primal feasibility of the claimed optimum.
+  if (!Refactorize()) {
+    result.status = LpStatus::kNumericalFailure;
+    result.iterations = iter;
+    return result;
+  }
+  ComputeBasicValues();
+  if (TotalInfeasibility() > 1e-5) {
+    result.status = LpStatus::kNumericalFailure;
+    result.iterations = iter;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.iterations = iter;
+  result.x.resize(n_);
+  for (int32_t j = 0; j < n_; ++j) {
+    result.x[j] = value_[j];
+  }
+  result.objective = model.Objective(result.x);
+  // Final duals priced with the true costs.
+  result.duals.assign(m_, 0.0);
+  for (int32_t i = 0; i < m_; ++i) {
+    double sum = 0.0;
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      double c = cost_[basis_[pos]];
+      if (c != 0.0) {
+        sum += c * binv_[static_cast<size_t>(pos) * m_ + i];
+      }
+    }
+    result.duals[i] = sum;
+  }
+  return result;
+}
+
+}  // namespace ras

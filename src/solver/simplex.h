@@ -1,0 +1,131 @@
+// Bounded-variable primal simplex.
+//
+// Solves  min c.x  s.t.  row_lb <= Ax <= row_ub,  lb <= x <= ub
+// by introducing one slack per row (Ax - s = 0, s in [row_lb, row_ub]) so the
+// right-hand side is identically zero and the all-slack basis is trivially
+// invertible. Infeasibility is driven out with a composite phase-1 objective
+// (unit cost per violated basic bound), then phase 2 minimizes the true
+// objective. The basis inverse is kept as a dense matrix with product-form
+// row updates and periodic refactorization; Dantzig pricing with a Bland
+// fallback guards against cycling.
+//
+// This is the LP engine underneath the branch-and-bound MIP solver
+// (src/solver/mip.h), which together substitute for the commercial MIP
+// solver used by the paper (Section 3.5).
+
+#ifndef RAS_SRC_SOLVER_SIMPLEX_H_
+#define RAS_SRC_SOLVER_SIMPLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/solver/model.h"
+
+namespace ras {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+const char* LpStatusName(LpStatus status);
+
+struct LpOptions {
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  double pivot_tol = 1e-9;
+  // 0 means "choose automatically from the problem size".
+  int64_t max_iterations = 0;
+  int refactor_interval = 256;
+  // Consecutive degenerate pivots before switching to Bland's rule.
+  int bland_trigger = 60;
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kNumericalFailure;
+  // Structural variable values (size = model.num_variables()).
+  std::vector<double> x;
+  double objective = 0.0;
+  int64_t iterations = 0;
+  // Duals (one per row) from the final pricing pass; valid when optimal.
+  std::vector<double> duals;
+};
+
+// Overrides for variable bounds, used by branch-and-bound to tighten integer
+// variables without copying the whole model. Entries replace the model's
+// bounds for that variable.
+struct BoundOverride {
+  VarId var;
+  double lb;
+  double ub;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const LpOptions& options = LpOptions()) : options_(options) {}
+
+  LpResult Solve(const Model& model) { return Solve(model, {}); }
+  LpResult Solve(const Model& model, const std::vector<BoundOverride>& overrides);
+
+  // Re-solves the SAME model with different bound overrides, starting from
+  // the final basis of the previous call. Bound changes leave the basis
+  // matrix (and its inverse) valid; only primal values shift, and the
+  // composite phase 1 drives out any new violations in a few pivots. This is
+  // what makes branch-and-bound nodes cheap: each child differs from its
+  // parent by one integer bound. Falls back to a cold solve when no
+  // compatible basis is available.
+  LpResult ResolveWithBasis(const Model& model, const std::vector<BoundOverride>& overrides);
+
+ private:
+  enum class ColStatus : uint8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+  struct SparseColumn {
+    std::vector<int32_t> rows;
+    std::vector<double> values;
+  };
+
+  // --- One solve's working state ---
+  void BuildColumns(const Model& model, const std::vector<BoundOverride>& overrides);
+  // Refreshes lb_/ub_/cost_ from the model + overrides without rebuilding
+  // the column structure (warm path).
+  void RefreshBounds(const Model& model, const std::vector<BoundOverride>& overrides);
+  void InitializeBasis();
+  bool Refactorize();  // Rebuilds binv_ from basis_; false if singular.
+  void ComputeBasicValues();
+  void Ftran(int32_t col, std::vector<double>& alpha) const;
+  double TotalInfeasibility() const;
+
+  LpResult RunSimplex(const Model& model);
+
+  LpOptions options_;
+
+  // Problem dimensions: m_ rows, n_ structural columns, total_ = n_ + m_.
+  int32_t m_ = 0;
+  int32_t n_ = 0;
+  int32_t total_ = 0;
+
+  std::vector<SparseColumn> columns_;  // Structural columns only; slacks implicit.
+  std::vector<double> lb_;             // Per column (structural + slack).
+  std::vector<double> ub_;
+  std::vector<double> cost_;  // True objective costs (slacks: 0).
+
+  std::vector<int32_t> basis_;      // Column basic in each row position.
+  std::vector<ColStatus> status_;   // Per column.
+  std::vector<int32_t> basis_pos_;  // Column -> row position (or -1).
+  std::vector<double> value_;       // Current value per column.
+  std::vector<double> binv_;        // Dense m_ x m_ row-major basis inverse.
+
+  // Warm-start validity: set after a successful solve; identifies the model
+  // shape the retained basis belongs to.
+  bool basis_valid_ = false;
+  size_t prepared_rows_ = 0;
+  size_t prepared_vars_ = 0;
+  size_t prepared_nonzeros_ = 0;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_SOLVER_SIMPLEX_H_

@@ -1,0 +1,61 @@
+#include "src/topology/hardware.h"
+
+namespace ras {
+
+Result<HardwareTypeId> HardwareCatalog::Add(HardwareType type) {
+  if (FindByName(type.name) != kInvalidHardwareType) {
+    return Status::AlreadyExists("hardware type already in catalog: " + type.name);
+  }
+  if (types_.size() >= kInvalidHardwareType) {
+    return Status::ResourceExhausted("hardware catalog is full");
+  }
+  types_.push_back(std::move(type));
+  return static_cast<HardwareTypeId>(types_.size() - 1);
+}
+
+HardwareTypeId HardwareCatalog::FindByName(const std::string& name) const {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) {
+      return static_cast<HardwareTypeId>(i);
+    }
+  }
+  return kInvalidHardwareType;
+}
+
+HardwareCatalog MakePaperCatalog() {
+  HardwareCatalog catalog;
+  auto add = [&catalog](const char* name, uint16_t cat, uint16_t sub, uint8_t gen, double compute,
+                        double mem_gb, double flash_tb, double watts, bool gpu) {
+    HardwareType t;
+    t.name = name;
+    t.category = cat;
+    t.subtype = sub;
+    t.cpu_generation = gen;
+    t.compute_units = compute;
+    t.memory_gb = mem_gb;
+    t.flash_tb = flash_tb;
+    t.power_watts = watts;
+    t.has_gpu = gpu;
+    auto result = catalog.Add(std::move(t));
+    (void)result;  // Names in this table are unique by construction.
+  };
+  // Compute SKUs across three processor generations (Figure 3's Gen I-III).
+  add("C1", 1, 0, 1, 1.00, 64, 0.0, 280, false);     // Gen-I web tier.
+  add("C2-S1", 2, 1, 2, 1.45, 64, 0.0, 320, false);  // Gen-II web tier.
+  add("C2-S2", 2, 2, 2, 1.45, 128, 0.0, 340, false);
+  add("C3", 3, 0, 3, 1.85, 96, 0.0, 360, false);  // Gen-III web tier.
+  // Storage-oriented SKUs (flash-heavy).
+  add("C4-S1", 4, 1, 1, 0.90, 128, 8.0, 380, false);
+  add("C4-S2", 4, 2, 2, 1.30, 128, 16.0, 420, false);
+  add("C4-S3", 4, 3, 3, 1.70, 256, 32.0, 460, false);
+  // Memory-heavy cache SKUs.
+  add("C5", 5, 0, 2, 1.35, 512, 0.0, 400, false);
+  add("C6-S1", 6, 1, 1, 0.95, 256, 2.0, 350, false);
+  add("C6-S2", 6, 2, 3, 1.80, 384, 4.0, 410, false);
+  // Accelerator SKU (single subtype; the newest MSBs only).
+  add("C7-S1", 7, 1, 3, 2.40, 256, 4.0, 900, true);
+  add("C8", 8, 0, 1, 1.00, 96, 1.0, 300, false);  // Legacy mixed-use, discontinued.
+  return catalog;
+}
+
+}  // namespace ras

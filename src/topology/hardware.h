@@ -1,0 +1,58 @@
+// Hardware catalog: the <Category-Subtype> server types of the paper's
+// Section 2.2 (Figure 2), with the physical attributes RAS reasons about
+// (compute throughput per CPU generation, memory, flash, power draw).
+
+#ifndef RAS_SRC_TOPOLOGY_HARDWARE_H_
+#define RAS_SRC_TOPOLOGY_HARDWARE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace ras {
+
+// Index into a HardwareCatalog.
+using HardwareTypeId = uint16_t;
+inline constexpr HardwareTypeId kInvalidHardwareType = 0xffff;
+
+// One server SKU. The paper divides hardware into categories (C1..C9) with
+// subtypes (S1..S3) whenever there is a notable performance difference.
+struct HardwareType {
+  std::string name;         // e.g. "C4-S2".
+  uint16_t category = 0;    // C index.
+  uint16_t subtype = 0;     // S index within the category (0 if none).
+  uint8_t cpu_generation = 1;  // Processor generation, 1-based (Figure 3).
+  double compute_units = 1.0;  // Baseline throughput of one server of this SKU.
+  double memory_gb = 64.0;
+  double flash_tb = 0.0;
+  double power_watts = 300.0;  // Nominal draw, for the power-spread model (Figure 14).
+  bool has_gpu = false;
+};
+
+// Immutable once built; shared by the fleet generator, RRU tables and solver.
+class HardwareCatalog {
+ public:
+  // Returns the id of the added type. Names must be unique.
+  Result<HardwareTypeId> Add(HardwareType type);
+
+  size_t size() const { return types_.size(); }
+  const HardwareType& type(HardwareTypeId id) const { return types_[id]; }
+  const std::vector<HardwareType>& types() const { return types_; }
+
+  // Returns kInvalidHardwareType if no type has this name.
+  HardwareTypeId FindByName(const std::string& name) const;
+
+ private:
+  std::vector<HardwareType> types_;
+};
+
+// Builds the 9-category / 12-subtype catalog used throughout the benches,
+// mirroring the SKU mix of the paper's Figure 2 (three compute generations,
+// storage-heavy types, memory-heavy types, and one GPU type).
+HardwareCatalog MakePaperCatalog();
+
+}  // namespace ras
+
+#endif  // RAS_SRC_TOPOLOGY_HARDWARE_H_

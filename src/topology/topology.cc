@@ -1,0 +1,87 @@
+#include "src/topology/topology.h"
+
+#include <cassert>
+#include <limits>
+
+namespace ras {
+
+DatacenterId RegionTopology::AddDatacenter() {
+  assert(!finalized_);
+  return static_cast<DatacenterId>(num_datacenters_++);
+}
+
+Result<MsbId> RegionTopology::AddMsb(DatacenterId dc) {
+  assert(!finalized_);
+  if (dc >= num_datacenters_) {
+    return Status::InvalidArgument("AddMsb: datacenter does not exist");
+  }
+  if (msb_dc_.size() >= std::numeric_limits<MsbId>::max()) {
+    return Status::ResourceExhausted("AddMsb: too many MSBs");
+  }
+  msb_dc_.push_back(dc);
+  return static_cast<MsbId>(msb_dc_.size() - 1);
+}
+
+Result<RackId> RegionTopology::AddRack(MsbId msb) {
+  assert(!finalized_);
+  if (msb >= msb_dc_.size()) {
+    return Status::InvalidArgument("AddRack: MSB does not exist");
+  }
+  rack_msb_.push_back(msb);
+  return static_cast<RackId>(rack_msb_.size() - 1);
+}
+
+Result<ServerId> RegionTopology::AddServer(RackId rack, HardwareTypeId type) {
+  assert(!finalized_);
+  if (rack >= rack_msb_.size()) {
+    return Status::InvalidArgument("AddServer: rack does not exist");
+  }
+  Server s;
+  s.id = static_cast<ServerId>(servers_.size());
+  s.type = type;
+  s.rack = rack;
+  s.msb = rack_msb_[rack];
+  s.dc = msb_dc_[s.msb];
+  servers_.push_back(s);
+  return s.id;
+}
+
+void RegionTopology::Finalize() {
+  assert(!finalized_);
+  servers_by_rack_.assign(num_racks(), {});
+  servers_by_msb_.assign(num_msbs(), {});
+  servers_by_dc_.assign(num_datacenters(), {});
+  for (const Server& s : servers_) {
+    servers_by_rack_[s.rack].push_back(s.id);
+    servers_by_msb_[s.msb].push_back(s.id);
+    servers_by_dc_[s.dc].push_back(s.id);
+  }
+  finalized_ = true;
+}
+
+uint32_t RegionTopology::GroupOf(Scope scope, ServerId id) const {
+  const Server& s = servers_[id];
+  switch (scope) {
+    case Scope::kRack:
+      return s.rack;
+    case Scope::kMsb:
+      return s.msb;
+    case Scope::kDatacenter:
+      return s.dc;
+  }
+  return 0;
+}
+
+size_t RegionTopology::GroupCount(Scope scope) const {
+  switch (scope) {
+    case Scope::kRack:
+      return num_racks();
+    case Scope::kMsb:
+      return num_msbs();
+    case Scope::kDatacenter:
+      return num_datacenters();
+  }
+  return 0;
+}
+
+}  // namespace ras

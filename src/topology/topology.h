@@ -1,0 +1,94 @@
+// Region topology: Region -> Datacenter -> MSB (main switch board, the
+// largest fault domain, Section 2.1) -> Rack -> Server.
+//
+// The topology is built once by the fleet generator and is immutable
+// afterwards; servers enter and leave service via broker state, not by
+// mutating the topology.
+
+#ifndef RAS_SRC_TOPOLOGY_TOPOLOGY_H_
+#define RAS_SRC_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/hardware.h"
+#include "src/util/status.h"
+
+namespace ras {
+
+using ServerId = uint32_t;
+using RackId = uint32_t;
+using MsbId = uint16_t;
+using DatacenterId = uint16_t;
+
+inline constexpr ServerId kInvalidServer = 0xffffffff;
+
+// Fault-domain / partition scopes of the MIP model's psi partitions
+// (Table 1): psi_K = racks, psi_F = MSBs, psi_D = datacenters.
+enum class Scope {
+  kRack,
+  kMsb,
+  kDatacenter,
+};
+
+struct Server {
+  ServerId id = kInvalidServer;
+  HardwareTypeId type = kInvalidHardwareType;
+  RackId rack = 0;
+  MsbId msb = 0;
+  DatacenterId dc = 0;
+};
+
+// Immutable region layout plus fast membership indexes.
+class RegionTopology {
+ public:
+  // --- Construction (used by the fleet generator) ---
+  DatacenterId AddDatacenter();
+  Result<MsbId> AddMsb(DatacenterId dc);
+  Result<RackId> AddRack(MsbId msb);
+  Result<ServerId> AddServer(RackId rack, HardwareTypeId type);
+  // Builds the per-scope membership indexes; call once after construction.
+  void Finalize();
+
+  // --- Sizes ---
+  size_t num_servers() const { return servers_.size(); }
+  size_t num_racks() const { return rack_msb_.size(); }
+  size_t num_msbs() const { return msb_dc_.size(); }
+  size_t num_datacenters() const { return num_datacenters_; }
+
+  // --- Lookup ---
+  const Server& server(ServerId id) const { return servers_[id]; }
+  const std::vector<Server>& servers() const { return servers_; }
+  MsbId rack_msb(RackId rack) const { return rack_msb_[rack]; }
+  DatacenterId msb_datacenter(MsbId msb) const { return msb_dc_[msb]; }
+  DatacenterId rack_datacenter(RackId rack) const { return msb_dc_[rack_msb_[rack]]; }
+
+  // Partition-group id of a server under a scope: rack id, MSB id, or DC id.
+  uint32_t GroupOf(Scope scope, ServerId id) const;
+  // Number of groups a scope partitions the region into.
+  size_t GroupCount(Scope scope) const;
+
+  // Requires Finalize(). Server ids grouped by scope group.
+  const std::vector<ServerId>& ServersInMsb(MsbId msb) const { return servers_by_msb_[msb]; }
+  const std::vector<ServerId>& ServersInRack(RackId rack) const { return servers_by_rack_[rack]; }
+  const std::vector<ServerId>& ServersInDatacenter(DatacenterId dc) const {
+    return servers_by_dc_[dc];
+  }
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::vector<Server> servers_;
+  std::vector<MsbId> rack_msb_;
+  std::vector<DatacenterId> msb_dc_;
+  size_t num_datacenters_ = 0;
+  bool finalized_ = false;
+
+  std::vector<std::vector<ServerId>> servers_by_rack_;
+  std::vector<std::vector<ServerId>> servers_by_msb_;
+  std::vector<std::vector<ServerId>> servers_by_dc_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_TOPOLOGY_TOPOLOGY_H_

@@ -1,0 +1,46 @@
+// Container and job model for the second level of the two-level architecture:
+// the Twine Allocator places containers on servers *within* a reservation
+// (Figure 6, right side), on the critical path, in real time.
+
+#ifndef RAS_SRC_TWINE_CONTAINER_H_
+#define RAS_SRC_TWINE_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/broker/resource_broker.h"
+
+namespace ras {
+
+using JobId = uint32_t;
+using ContainerId = uint64_t;
+inline constexpr JobId kInvalidJob = 0xffffffff;
+
+// Per-container resource demand. CPU is in abstract core-units scaled so a
+// generation-1 baseline server offers kCoresPerComputeUnit * compute_units.
+struct ContainerSpec {
+  double cpu = 1.0;
+  double memory_gb = 4.0;
+};
+
+struct JobSpec {
+  std::string name;
+  ReservationId reservation = kUnassigned;
+  ContainerSpec container;
+  int replicas = 1;
+};
+
+// Scale factor from a SKU's compute_units to schedulable CPU capacity.
+inline constexpr double kCoresPerComputeUnit = 32.0;
+
+struct ServerResources {
+  double cpu = 0.0;
+  double memory_gb = 0.0;
+};
+
+// Schedulable capacity of one server of `type`.
+ServerResources CapacityOf(const HardwareType& type);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_TWINE_CONTAINER_H_

@@ -1,0 +1,67 @@
+#include "src/twine/greedy_assigner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ras {
+
+GreedyAssigner::GreedyAssigner(const HardwareCatalog* catalog, ResourceBroker* broker)
+    : catalog_(catalog), broker_(broker) {
+  assert(catalog != nullptr && broker != nullptr);
+}
+
+size_t GreedyAssigner::Grow(ReservationId reservation,
+                            const std::vector<HardwareTypeId>& acceptable_types, size_t count) {
+  const RegionTopology& topo = broker_->topology();
+  std::vector<ServerId> pool = broker_->ServersInReservation(kUnassigned);
+  // Deployment order: oldest MSB first, then server id for determinism.
+  std::sort(pool.begin(), pool.end(), [&topo](ServerId a, ServerId b) {
+    const Server& sa = topo.server(a);
+    const Server& sb = topo.server(b);
+    if (sa.msb != sb.msb) {
+      return sa.msb < sb.msb;
+    }
+    return a < b;
+  });
+
+  size_t acquired = 0;
+  for (ServerId sid : pool) {
+    if (acquired >= count) {
+      break;
+    }
+    const ServerRecord& rec = broker_->record(sid);
+    if (IsUnplanned(rec.unavailability)) {
+      continue;
+    }
+    HardwareTypeId type = topo.server(sid).type;
+    if (!acceptable_types.empty() &&
+        std::find(acceptable_types.begin(), acceptable_types.end(), type) ==
+            acceptable_types.end()) {
+      continue;
+    }
+    broker_->SetCurrent(sid, reservation);
+    broker_->SetTarget(sid, reservation);
+    ++acquired;
+  }
+  return acquired;
+}
+
+size_t GreedyAssigner::Shrink(ReservationId reservation, size_t count) {
+  std::vector<ServerId> members = broker_->ServersInReservation(reservation);
+  std::sort(members.begin(), members.end());
+  size_t released = 0;
+  for (ServerId sid : members) {
+    if (released >= count) {
+      break;
+    }
+    if (broker_->record(sid).has_containers) {
+      continue;  // Greedy Twine only returns empty servers.
+    }
+    broker_->SetCurrent(sid, kUnassigned);
+    broker_->SetTarget(sid, kUnassigned);
+    ++released;
+  }
+  return released;
+}
+
+}  // namespace ras

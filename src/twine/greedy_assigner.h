@@ -1,0 +1,41 @@
+// Greedy region-pool server assignment: Twine's pre-RAS approach
+// (Section 1.1) and the comparison baseline of Figures 12 and 14.
+//
+// When an entitlement needs capacity, a free server is acquired greedily from
+// the shared region pool in deployment order (oldest MSBs first, which is how
+// free capacity accumulates in practice), with no fault-domain spread, power
+// balance, or buffer reasoning. This concentrates entitlements in a few MSBs
+// — exactly the pathology RAS's MIP optimization removes.
+
+#ifndef RAS_SRC_TWINE_GREEDY_ASSIGNER_H_
+#define RAS_SRC_TWINE_GREEDY_ASSIGNER_H_
+
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/topology/hardware.h"
+
+namespace ras {
+
+class GreedyAssigner {
+ public:
+  GreedyAssigner(const HardwareCatalog* catalog, ResourceBroker* broker);
+
+  // Moves up to `count` free, healthy servers of an acceptable type into
+  // `reservation` (sets both current and target — the greedy path has no
+  // separate solve step). Returns how many were acquired.
+  size_t Grow(ReservationId reservation, const std::vector<HardwareTypeId>& acceptable_types,
+              size_t count);
+
+  // Returns up to `count` container-free servers of `reservation` to the
+  // region pool. Returns how many were released.
+  size_t Shrink(ReservationId reservation, size_t count);
+
+ private:
+  const HardwareCatalog* catalog_;
+  ResourceBroker* broker_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_TWINE_GREEDY_ASSIGNER_H_

@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr. The default level is WARNING so tests
+// and benchmarks stay quiet; simulations raise it for progress output.
+
+#ifndef RAS_SRC_UTIL_LOGGING_H_
+#define RAS_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ras {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Process-global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr (thread-safe at line granularity).
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ras
+
+#define RAS_LOG(level)                                          \
+  if (::ras::LogLevel::level < ::ras::GetLogLevel()) {          \
+  } else                                                        \
+    ::ras::LogLine(::ras::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // RAS_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,26 @@
+#include "src/util/sim_time.h"
+
+#include <cstdio>
+
+namespace ras {
+
+std::string FormatSimTime(SimTime t) {
+  int64_t s = t.seconds;
+  bool negative = s < 0;
+  if (negative) {
+    s = -s;
+  }
+  int64_t days = s / 86400;
+  s %= 86400;
+  int64_t hours = s / 3600;
+  s %= 3600;
+  int64_t minutes = s / 60;
+  s %= 60;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld", negative ? "-" : "",
+                static_cast<long long>(days), static_cast<long long>(hours),
+                static_cast<long long>(minutes), static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace ras

@@ -1,0 +1,50 @@
+// Simulated wall-clock time for the discrete-event simulator.
+//
+// Times are integral seconds since the start of a scenario. Using a plain
+// strong type (rather than std::chrono) keeps event ordering and arithmetic
+// trivially deterministic.
+
+#ifndef RAS_SRC_UTIL_SIM_TIME_H_
+#define RAS_SRC_UTIL_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ras {
+
+// A point in simulated time, in seconds since scenario start.
+struct SimTime {
+  int64_t seconds = 0;
+
+  constexpr bool operator==(const SimTime&) const = default;
+  constexpr auto operator<=>(const SimTime&) const = default;
+};
+
+// A span of simulated time, in seconds.
+struct SimDuration {
+  int64_t seconds = 0;
+
+  constexpr bool operator==(const SimDuration&) const = default;
+  constexpr auto operator<=>(const SimDuration&) const = default;
+};
+
+constexpr SimDuration Seconds(int64_t s) { return SimDuration{s}; }
+constexpr SimDuration Minutes(int64_t m) { return SimDuration{m * 60}; }
+constexpr SimDuration Hours(int64_t h) { return SimDuration{h * 3600}; }
+constexpr SimDuration Days(int64_t d) { return SimDuration{d * 86400}; }
+constexpr SimDuration Weeks(int64_t w) { return SimDuration{w * 7 * 86400}; }
+
+constexpr SimTime operator+(SimTime t, SimDuration d) { return SimTime{t.seconds + d.seconds}; }
+constexpr SimTime operator-(SimTime t, SimDuration d) { return SimTime{t.seconds - d.seconds}; }
+constexpr SimDuration operator-(SimTime a, SimTime b) { return SimDuration{a.seconds - b.seconds}; }
+constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration{a.seconds + b.seconds};
+}
+constexpr SimDuration operator*(SimDuration d, int64_t k) { return SimDuration{d.seconds * k}; }
+
+// "3d 04:05:06"-style rendering for logs and harness output.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_UTIL_SIM_TIME_H_

@@ -1,0 +1,114 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ras {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (double s : samples) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double Variance(const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(samples);
+  double m2 = 0;
+  for (double s : samples) {
+    m2 += (s - mean) * (s - mean);
+  }
+  return m2 / static_cast<double>(samples.size());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets) : lo_(lo), hi_(hi) {
+  assert(hi > lo && buckets > 0);
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  double offset = (x - lo_) / width_;
+  int64_t index = static_cast<int64_t>(std::floor(offset));
+  if (index < 0) {
+    index = 0;
+  }
+  if (index >= static_cast<int64_t>(counts_.size())) {
+    index = static_cast<int64_t>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<size_t>(index)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::bucket_hi(size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+std::string Histogram::ToString(size_t max_bar_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    size_t bar = peak == 0 ? 0 : static_cast<size_t>(counts_[i] * max_bar_width / peak);
+    std::snprintf(line, sizeof(line), "%12.2f..%-12.2f %8llu  ", bucket_lo(i), bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ras

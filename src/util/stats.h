@@ -1,0 +1,73 @@
+// Small statistics helpers shared by the simulator, benchmarks and tests:
+// online mean/variance, percentiles, and fixed-width histograms.
+
+#ifndef RAS_SRC_UTIL_STATS_H_
+#define RAS_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ras {
+
+// Welford online mean / variance accumulator.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance (divides by N). Returns 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Returns the p-th percentile (p in [0, 100]) with linear interpolation.
+// Copies and sorts internally; fine for benchmark-sized sample sets.
+double Percentile(std::vector<double> samples, double p);
+
+// Population variance of a sample vector (divides by N).
+double Variance(const std::vector<double>& samples);
+
+double Mean(const std::vector<double>& samples);
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+// first/last bucket. Used by the figure benches to print distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  double bucket_lo(size_t i) const;
+  double bucket_hi(size_t i) const;
+  uint64_t total() const { return total_; }
+
+  // Multi-line "lo..hi  count  ####" rendering for harness output.
+  std::string ToString(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_UTIL_STATS_H_

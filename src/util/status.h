@@ -1,0 +1,109 @@
+// Lightweight status / result types used across the RAS libraries.
+//
+// Library code does not throw across module boundaries; fallible operations
+// return `Status` or `Result<T>` instead.
+
+#ifndef RAS_SRC_UTIL_STATUS_H_
+#define RAS_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ras {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kInternal,
+  kUnavailable,
+};
+
+// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A status is either OK or a (code, message) pair describing the failure.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-status union. `value()` asserts that the result holds a value;
+// callers are expected to check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(value_.has_value());
+    return *value_;
+  }
+  const T& value() const {
+    assert(value_.has_value());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_UTIL_STATUS_H_

@@ -1,0 +1,108 @@
+#include "src/broker/resource_broker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+class ResourceBrokerTest : public ::testing::Test {
+ protected:
+  ResourceBrokerTest() : fleet_(GenerateFleet(SmallOptions())), broker_(&fleet_.topology) {}
+
+  static FleetOptions SmallOptions() {
+    FleetOptions opts;
+    opts.num_datacenters = 1;
+    opts.msbs_per_datacenter = 2;
+    opts.racks_per_msb = 2;
+    opts.servers_per_rack = 5;
+    return opts;  // 20 servers.
+  }
+
+  Fleet fleet_;
+  ResourceBroker broker_;
+};
+
+TEST_F(ResourceBrokerTest, AllServersStartFree) {
+  EXPECT_EQ(broker_.num_servers(), 20u);
+  EXPECT_EQ(broker_.CountInReservation(kUnassigned), 20u);
+  for (ServerId id = 0; id < broker_.num_servers(); ++id) {
+    const ServerRecord& rec = broker_.record(id);
+    EXPECT_EQ(rec.current, kUnassigned);
+    EXPECT_EQ(rec.target, kUnassigned);
+    EXPECT_EQ(rec.unavailability, Unavailability::kNone);
+    EXPECT_FALSE(rec.has_containers);
+  }
+}
+
+TEST_F(ResourceBrokerTest, SetCurrentMaintainsIndex) {
+  broker_.SetCurrent(3, 100);
+  broker_.SetCurrent(7, 100);
+  EXPECT_EQ(broker_.CountInReservation(100), 2u);
+  EXPECT_EQ(broker_.CountInReservation(kUnassigned), 18u);
+  broker_.SetCurrent(3, kUnassigned);
+  EXPECT_EQ(broker_.CountInReservation(100), 1u);
+  EXPECT_EQ(broker_.ServersInReservation(100)[0], 7u);
+}
+
+TEST_F(ResourceBrokerTest, VersionBumpsOnChange) {
+  uint64_t v0 = broker_.record(5).version;
+  broker_.SetTarget(5, 9);
+  EXPECT_GT(broker_.record(5).version, v0);
+  uint64_t v1 = broker_.record(5).version;
+  broker_.SetTarget(5, 9);  // No-op: same value.
+  EXPECT_EQ(broker_.record(5).version, v1);
+}
+
+TEST_F(ResourceBrokerTest, PendingMoves) {
+  EXPECT_TRUE(broker_.PendingMoves().empty());
+  broker_.SetTarget(2, 50);
+  broker_.SetTarget(4, 50);
+  auto pending = broker_.PendingMoves();
+  ASSERT_EQ(pending.size(), 2u);
+  broker_.SetCurrent(2, 50);
+  EXPECT_EQ(broker_.PendingMoves().size(), 1u);
+}
+
+TEST_F(ResourceBrokerTest, WatchersFireOnChange) {
+  int calls = 0;
+  ServerId last = kInvalidServer;
+  int handle = broker_.Subscribe([&](const ServerRecord& rec) {
+    ++calls;
+    last = rec.server;
+  });
+  broker_.SetUnavailability(6, Unavailability::kUnplannedHardware);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last, 6u);
+  broker_.SetUnavailability(6, Unavailability::kUnplannedHardware);  // No-op.
+  EXPECT_EQ(calls, 1);
+  broker_.Unsubscribe(handle);
+  broker_.SetUnavailability(6, Unavailability::kNone);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ResourceBrokerTest, ElasticLoanFields) {
+  broker_.SetElasticLoan(9, 42, true);
+  EXPECT_TRUE(broker_.record(9).elastic_loan);
+  EXPECT_EQ(broker_.record(9).home, 42u);
+  broker_.SetElasticLoan(9, kUnassigned, false);
+  EXPECT_FALSE(broker_.record(9).elastic_loan);
+}
+
+TEST_F(ResourceBrokerTest, IsUnplannedClassification) {
+  EXPECT_FALSE(IsUnplanned(Unavailability::kNone));
+  EXPECT_FALSE(IsUnplanned(Unavailability::kPlannedMaintenance));
+  EXPECT_TRUE(IsUnplanned(Unavailability::kUnplannedSoftware));
+  EXPECT_TRUE(IsUnplanned(Unavailability::kUnplannedHardware));
+}
+
+TEST_F(ResourceBrokerTest, HasContainersFlag) {
+  broker_.SetHasContainers(1, true);
+  EXPECT_TRUE(broker_.record(1).has_containers);
+  broker_.SetHasContainers(1, false);
+  EXPECT_FALSE(broker_.record(1).has_containers);
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,149 @@
+#include "src/core/buffer_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+FleetOptions Options() {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 3;
+  opts.racks_per_msb = 5;
+  opts.servers_per_rack = 8;
+  return opts;  // 240 servers.
+}
+
+TEST(SharedBuffersTest, OnePerPopulatedType) {
+  Fleet fleet = GenerateFleet(Options());
+  ReservationRegistry registry;
+  auto ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.02);
+  // Count populated types.
+  std::vector<size_t> population(fleet.catalog.size(), 0);
+  for (const Server& s : fleet.topology.servers()) {
+    population[s.type]++;
+  }
+  size_t populated = 0;
+  for (size_t c : population) {
+    populated += c > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(ids.size(), populated);
+  for (ReservationId id : ids) {
+    const ReservationSpec* spec = registry.Find(id);
+    ASSERT_NE(spec, nullptr);
+    EXPECT_TRUE(spec->is_shared_random_buffer);
+    EXPECT_FALSE(spec->needs_correlated_buffer);
+    EXPECT_GE(spec->capacity_rru, 1.0);
+  }
+}
+
+TEST(SharedBuffersTest, SizedToFraction) {
+  Fleet fleet = GenerateFleet(Options());
+  ReservationRegistry registry;
+  auto ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.10);
+  double total_buffer = 0;
+  for (ReservationId id : ids) {
+    total_buffer += registry.Find(id)->capacity_rru;
+  }
+  double fleet_size = static_cast<double>(fleet.topology.num_servers());
+  // Ceil per type adds a little; stays near 10%.
+  EXPECT_GE(total_buffer, 0.10 * fleet_size);
+  EXPECT_LE(total_buffer, 0.10 * fleet_size + static_cast<double>(ids.size()));
+}
+
+TEST(SharedBuffersTest, IdempotentResize) {
+  Fleet fleet = GenerateFleet(Options());
+  ReservationRegistry registry;
+  auto first = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.02);
+  auto second = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.04);
+  EXPECT_EQ(first, second);  // Same ids, updated capacity.
+  EXPECT_EQ(registry.size(), first.size());
+  EXPECT_GT(registry.Find(second[0])->capacity_rru, 0.0);
+}
+
+TEST(MaxMsbShareTest, ComputesWorstFraction) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  // 3 servers in MSB 0, 1 in MSB 1.
+  std::vector<ServerId> msb0(fleet.topology.ServersInMsb(0).begin(),
+                             fleet.topology.ServersInMsb(0).end());
+  std::vector<ServerId> msb1(fleet.topology.ServersInMsb(1).begin(),
+                             fleet.topology.ServersInMsb(1).end());
+  broker.SetCurrent(msb0[0], 9);
+  broker.SetCurrent(msb0[1], 9);
+  broker.SetCurrent(msb0[2], 9);
+  broker.SetCurrent(msb1[0], 9);
+  EXPECT_DOUBLE_EQ(MaxMsbShare(broker, 9), 0.75);
+  EXPECT_DOUBLE_EQ(MaxMsbShare(broker, 12345), 0.0);  // Empty reservation.
+}
+
+TEST(RegionEmbeddedBufferTest, AggregatesGuaranteedOnly) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  ReservationSpec spec;
+  spec.name = "svc";
+  spec.capacity_rru = 4;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  ReservationId res = *registry.Create(spec);
+
+  ReservationSpec buffer = spec;
+  buffer.name = "buf";
+  buffer.is_shared_random_buffer = true;
+  buffer.needs_correlated_buffer = false;
+  ReservationId buf = *registry.Create(buffer);
+
+  auto msb0 = fleet.topology.ServersInMsb(0);
+  broker.SetCurrent(msb0[0], res);
+  broker.SetCurrent(msb0[1], res);
+  broker.SetCurrent(fleet.topology.ServersInMsb(1)[0], res);
+  broker.SetCurrent(fleet.topology.ServersInMsb(2)[0], res);
+  // Buffer reservation concentrated (should not count).
+  broker.SetCurrent(msb0[2], buf);
+  broker.SetCurrent(msb0[3], buf);
+
+  // svc: 4 servers, worst MSB holds 2 -> 0.5.
+  EXPECT_DOUBLE_EQ(RegionEmbeddedBufferFraction(broker, registry), 0.5);
+}
+
+TEST(LowerBoundTest, PerfectSpreadBound) {
+  Fleet fleet = GenerateFleet(Options());
+  EXPECT_DOUBLE_EQ(PerfectSpreadBound(fleet.topology), 1.0 / 6.0);
+}
+
+TEST(LowerBoundTest, WaterfillRespectsAvailability) {
+  Fleet fleet = GenerateFleet(Options());
+  // A type-restricted reservation can only spread over MSBs carrying it.
+  ReservationSpec spec;
+  spec.name = "gen3";
+  spec.capacity_rru = 20;
+  spec.rru_per_type.assign(fleet.catalog.size(), 0.0);
+  spec.rru_per_type[fleet.catalog.FindByName("C3")] = 1.0;
+  double bound = MinPossibleMaxMsbShare(spec, fleet.topology);
+  // Must be at least the perfect-spread bound and at most 1.
+  EXPECT_GE(bound, PerfectSpreadBound(fleet.topology) - 1e-6);
+  EXPECT_LE(bound, 1.0);
+
+  // An any-type reservation gets (nearly) the perfect bound.
+  ReservationSpec any;
+  any.name = "any";
+  any.capacity_rru = 60;
+  any.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  double any_bound = MinPossibleMaxMsbShare(any, fleet.topology);
+  EXPECT_LT(any_bound, bound + 1e-9);
+  EXPECT_NEAR(any_bound, PerfectSpreadBound(fleet.topology), 0.05);
+}
+
+TEST(LowerBoundTest, ImpossibleDemandDegeneratesToOne) {
+  Fleet fleet = GenerateFleet(Options());
+  ReservationSpec spec;
+  spec.name = "huge";
+  spec.capacity_rru = 1e9;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  EXPECT_DOUBLE_EQ(MinPossibleMaxMsbShare(spec, fleet.topology), 1.0);
+}
+
+}  // namespace
+}  // namespace ras

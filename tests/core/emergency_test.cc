@@ -1,0 +1,128 @@
+#include "src/core/emergency.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/buffer_policy.h"
+#include "src/core/online_mover.h"
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+struct EmergencySetup {
+  Fleet fleet;
+  std::unique_ptr<ResourceBroker> broker;
+  ReservationRegistry registry;
+  std::unique_ptr<OnlineMover> mover;
+  std::vector<ReservationId> buffers;
+
+  EmergencySetup() : fleet(GenerateFleet(Options())) {
+    broker = std::make_unique<ResourceBroker>(&fleet.topology);
+    mover = std::make_unique<OnlineMover>(broker.get(), &registry, nullptr);
+    buffers = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.05);
+    for (ReservationId b : buffers) {
+      const ReservationSpec* spec = registry.Find(b);
+      size_t need = static_cast<size_t>(spec->capacity_rru);
+      for (ServerId id = 0; id < broker->num_servers() && need > 0; ++id) {
+        if (broker->record(id).current == kUnassigned &&
+            spec->ValueOfType(fleet.topology.server(id).type) > 0) {
+          broker->SetCurrent(id, b);
+          --need;
+        }
+      }
+    }
+  }
+
+  static FleetOptions Options() {
+    FleetOptions opts;
+    opts.num_datacenters = 1;
+    opts.msbs_per_datacenter = 3;
+    opts.racks_per_msb = 4;
+    opts.servers_per_rack = 8;
+    return opts;  // 96 servers.
+  }
+
+  ReservationId AddGuaranteed(const std::string& name, double capacity) {
+    ReservationSpec spec;
+    spec.name = name;
+    spec.capacity_rru = capacity;
+    spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+    return *registry.Create(spec);
+  }
+};
+
+TEST(EmergencyTest, GrantsFromFreePool) {
+  EmergencySetup s;
+  ReservationId res = s.AddGuaranteed("urgent", 10);
+  EmergencyGrant grant = GrantImmediateCapacity(*s.broker, s.registry, res, 10);
+  EXPECT_EQ(grant.servers_granted, 10u);
+  EXPECT_EQ(grant.from_free_pool, 10u);
+  EXPECT_EQ(s.broker->CountInReservation(res), 10u);
+}
+
+TEST(EmergencyTest, FallsBackToElasticLoans) {
+  EmergencySetup s;
+  // Drain the free pool into a filler reservation.
+  ReservationId filler = s.AddGuaranteed("filler", 1);
+  std::vector<ServerId> pool = s.broker->ServersInReservation(kUnassigned);
+  for (ServerId id : pool) {
+    s.broker->SetCurrent(id, filler);
+  }
+  // Loan buffer capacity to an elastic reservation.
+  ReservationSpec elastic_spec;
+  elastic_spec.name = "batch";
+  elastic_spec.capacity_rru = 0;
+  elastic_spec.rru_per_type.assign(s.fleet.catalog.size(), 1.0);
+  elastic_spec.is_elastic = true;
+  elastic_spec.needs_correlated_buffer = false;
+  ReservationId elastic = *s.registry.Create(elastic_spec);
+  size_t loaned = s.mover->LoanIdleBuffersToElastic(elastic, 4);
+  ASSERT_GT(loaned, 0u);
+
+  ReservationId urgent = s.AddGuaranteed("urgent", 2);
+  EmergencyGrant grant = GrantImmediateCapacity(*s.broker, s.registry, urgent, 2);
+  EXPECT_EQ(grant.servers_granted, std::min<size_t>(2, loaned));
+  EXPECT_EQ(grant.from_free_pool, 0u);
+  EXPECT_GT(grant.from_elastic, 0u);
+}
+
+TEST(EmergencyTest, NeverTouchesIdleBuffers) {
+  EmergencySetup s;
+  // Drain the free pool.
+  ReservationId filler = s.AddGuaranteed("filler", 1);
+  std::vector<ServerId> pool = s.broker->ServersInReservation(kUnassigned);
+  for (ServerId id : pool) {
+    s.broker->SetCurrent(id, filler);
+  }
+  size_t buffer_before = 0;
+  for (ReservationId b : s.buffers) {
+    buffer_before += s.broker->CountInReservation(b);
+  }
+  ReservationId urgent = s.AddGuaranteed("urgent", 5);
+  EmergencyGrant grant = GrantImmediateCapacity(*s.broker, s.registry, urgent, 5);
+  EXPECT_EQ(grant.servers_granted, 0u);  // Nothing available without loans.
+  size_t buffer_after = 0;
+  for (ReservationId b : s.buffers) {
+    buffer_after += s.broker->CountInReservation(b);
+  }
+  EXPECT_EQ(buffer_before, buffer_after);
+}
+
+TEST(EmergencyTest, UnknownReservationOrZeroCount) {
+  EmergencySetup s;
+  EXPECT_EQ(GrantImmediateCapacity(*s.broker, s.registry, 9999, 5).servers_granted, 0u);
+  ReservationId res = s.AddGuaranteed("svc", 5);
+  EXPECT_EQ(GrantImmediateCapacity(*s.broker, s.registry, res, 0).servers_granted, 0u);
+}
+
+TEST(EmergencyTest, SkipsFailedServers) {
+  EmergencySetup s;
+  for (ServerId id : s.broker->ServersInReservation(kUnassigned)) {
+    s.broker->SetUnavailability(id, Unavailability::kUnplannedHardware);
+  }
+  ReservationId res = s.AddGuaranteed("svc", 5);
+  EXPECT_EQ(GrantImmediateCapacity(*s.broker, s.registry, res, 5).servers_granted, 0u);
+}
+
+}  // namespace
+}  // namespace ras

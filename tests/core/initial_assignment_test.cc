@@ -1,0 +1,186 @@
+#include "src/core/initial_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/fleet/fleet_gen.h"
+#include "src/util/rng.h"
+
+namespace ras {
+namespace {
+
+struct GreedyEnv {
+  Fleet fleet;
+  std::unique_ptr<ResourceBroker> broker;
+  ReservationRegistry registry;
+
+  GreedyEnv() : fleet(GenerateFleet(Options())) {
+    broker = std::make_unique<ResourceBroker>(&fleet.topology);
+  }
+
+  static FleetOptions Options() {
+    FleetOptions opts;
+    opts.num_datacenters = 2;
+    opts.msbs_per_datacenter = 3;
+    opts.racks_per_msb = 4;
+    opts.servers_per_rack = 6;
+    return opts;  // 144 servers.
+  }
+
+  ReservationId Add(const std::string& name, double capacity,
+                    std::vector<double> rru = {}) {
+    ReservationSpec spec;
+    spec.name = name;
+    spec.capacity_rru = capacity;
+    spec.rru_per_type = rru.empty() ? std::vector<double>(fleet.catalog.size(), 1.0) : rru;
+    return *registry.Create(spec);
+  }
+
+  struct Built {
+    SolveInput input;
+    std::vector<EquivalenceClass> classes;
+    BuiltModel built;
+  };
+  Built Prepare() {
+    Built b;
+    b.input = SnapshotSolveInput(*broker, registry, fleet.catalog);
+    b.classes = BuildEquivalenceClasses(b.input, Scope::kMsb);
+    b.built = BuildRasModel(b.input, b.classes, SolverConfig(), false);
+    return b;
+  }
+};
+
+// Effective capacity (total minus worst MSB) per reservation from counts.
+std::map<int, double> EffectivePerReservation(const GreedyEnv::Built& b,
+                                              const std::vector<double>& counts) {
+  std::map<int, double> total;
+  std::map<int, std::map<MsbId, double>> per_msb;
+  for (size_t k = 0; k < b.built.assignment_vars.size(); ++k) {
+    const auto& av = b.built.assignment_vars[k];
+    const EquivalenceClass& cls = b.classes[static_cast<size_t>(av.class_index)];
+    double rru =
+        b.input.reservations[static_cast<size_t>(av.reservation_index)].ValueOfType(cls.type) *
+        counts[k];
+    total[av.reservation_index] += rru;
+    per_msb[av.reservation_index][cls.msb] += rru;
+  }
+  std::map<int, double> effective;
+  for (auto& [r, t] : total) {
+    double worst = 0;
+    for (auto& [msb, rru] : per_msb[r]) {
+      worst = std::max(worst, rru);
+    }
+    effective[r] = t - worst;
+  }
+  return effective;
+}
+
+TEST(InitialAssignmentTest, FillsCapacityPlusBuffer) {
+  GreedyEnv env;
+  env.Add("a", 30);
+  env.Add("b", 20);
+  auto b = env.Prepare();
+  auto counts = BuildInitialCounts(b.input, b.classes, b.built);
+  auto effective = EffectivePerReservation(b, counts);
+  for (size_t r = 0; r < b.input.reservations.size(); ++r) {
+    EXPECT_GE(effective[static_cast<int>(r)] + 1e-9, b.input.reservations[r].capacity_rru)
+        << b.input.reservations[r].name;
+  }
+}
+
+TEST(InitialAssignmentTest, NeverExceedsSupply) {
+  GreedyEnv env;
+  env.Add("a", 45);
+  env.Add("b", 45);
+  auto b = env.Prepare();
+  auto counts = BuildInitialCounts(b.input, b.classes, b.built);
+  std::vector<double> used(b.classes.size(), 0.0);
+  for (size_t k = 0; k < b.built.assignment_vars.size(); ++k) {
+    used[static_cast<size_t>(b.built.assignment_vars[k].class_index)] += counts[k];
+  }
+  for (size_t c = 0; c < b.classes.size(); ++c) {
+    EXPECT_LE(used[c], static_cast<double>(b.classes[c].count()) + 1e-9);
+  }
+}
+
+TEST(InitialAssignmentTest, KeepsExistingBindings) {
+  GreedyEnv env;
+  ReservationId a = env.Add("a", 10);
+  for (ServerId id = 0; id < 12; ++id) {
+    env.broker->SetCurrent(id, a);
+  }
+  auto b = env.Prepare();
+  auto counts = BuildInitialCounts(b.input, b.classes, b.built);
+  // The greedy never reduces counts below X.
+  for (size_t k = 0; k < counts.size(); ++k) {
+    EXPECT_GE(counts[k], b.built.initial_counts[k] - 1e-9);
+  }
+}
+
+TEST(InitialAssignmentTest, SpreadsAcrossMsbs) {
+  GreedyEnv env;
+  env.Add("a", 40);
+  auto b = env.Prepare();
+  auto counts = BuildInitialCounts(b.input, b.classes, b.built);
+  std::map<MsbId, double> per_msb;
+  for (size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] > 0) {
+      per_msb[b.classes[static_cast<size_t>(b.built.assignment_vars[k].class_index)].msb] +=
+          counts[k];
+    }
+  }
+  EXPECT_GE(per_msb.size(), 5u);  // 6 MSBs; greedy is spread-first.
+}
+
+TEST(InitialAssignmentTest, StopsWhenRegionExhausted) {
+  GreedyEnv env;
+  env.Add("huge", 100000);
+  auto b = env.Prepare();
+  auto counts = BuildInitialCounts(b.input, b.classes, b.built);
+  double assigned = 0;
+  for (double c : counts) {
+    assigned += c;
+  }
+  EXPECT_LE(assigned, static_cast<double>(env.fleet.topology.num_servers()) + 1e-9);
+  // Warm start from the exhausted greedy must still be model-feasible.
+  auto warm = MakeWarmStart(b.input, b.classes, b.built, counts);
+  EXPECT_TRUE(b.built.model.IsFeasible(warm, 1e-6));
+}
+
+TEST(RepairCountsTest, RepairsArbitraryStartingPoint) {
+  GreedyEnv env;
+  env.Add("a", 30);
+  auto b = env.Prepare();
+  // Start from an empty assignment (not the broker state).
+  std::vector<double> empty(b.built.assignment_vars.size(), 0.0);
+  auto counts = RepairCounts(b.input, b.classes, b.built, empty);
+  auto effective = EffectivePerReservation(b, counts);
+  EXPECT_GE(effective[0] + 1e-9, 30.0);
+}
+
+TEST(RepairCountsTest, DrawsFromPartiallyUsedClasses) {
+  GreedyEnv env;
+  env.Add("a", 20);
+  auto b = env.Prepare();
+  // Seed a start that uses half of one big class; repair must be able to use
+  // the other half even though the class is not "free" in the broker sense.
+  std::vector<double> seeded(b.built.assignment_vars.size(), 0.0);
+  int big_class = -1;
+  for (size_t c = 0; c < b.classes.size(); ++c) {
+    if (b.classes[c].count() >= 4) {
+      big_class = static_cast<int>(c);
+      break;
+    }
+  }
+  ASSERT_GE(big_class, 0);
+  int var_in_big = b.built.class_to_vars[static_cast<size_t>(big_class)][0];
+  seeded[static_cast<size_t>(var_in_big)] =
+      static_cast<double>(b.classes[static_cast<size_t>(big_class)].count() / 2);
+  auto counts = RepairCounts(b.input, b.classes, b.built, seeded);
+  auto effective = EffectivePerReservation(b, counts);
+  EXPECT_GE(effective[0] + 1e-9, 20.0);
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,122 @@
+#include "src/core/lp_rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/initial_assignment.h"
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+struct RoundingEnv {
+  Fleet fleet;
+  std::unique_ptr<ResourceBroker> broker;
+  ReservationRegistry registry;
+
+  RoundingEnv() : fleet(GenerateFleet(Options())) {
+    broker = std::make_unique<ResourceBroker>(&fleet.topology);
+  }
+
+  static FleetOptions Options() {
+    FleetOptions opts;
+    opts.num_datacenters = 2;
+    opts.msbs_per_datacenter = 3;
+    opts.racks_per_msb = 5;
+    opts.servers_per_rack = 8;
+    return opts;
+  }
+};
+
+TEST(LpRoundingTest, CandidateIsFeasibleAndGood) {
+  RoundingEnv env;
+  for (int i = 0; i < 4; ++i) {
+    ReservationSpec spec;
+    spec.name = "svc-" + std::to_string(i);
+    spec.capacity_rru = 25;
+    spec.rru_per_type.assign(env.fleet.catalog.size(), 1.0);
+    ASSERT_TRUE(env.registry.Create(spec).ok());
+  }
+  SolveInput input = SnapshotSolveInput(*env.broker, env.registry, env.fleet.catalog);
+  auto classes = BuildEquivalenceClasses(input, Scope::kMsb);
+  SolverConfig config;
+  BuiltModel built = BuildRasModel(input, classes, config, false);
+
+  SimplexSolver lp;
+  LpResult relaxation = lp.Solve(built.model);
+  ASSERT_EQ(relaxation.status, LpStatus::kOptimal);
+
+  MipHeuristic heuristic = MakeLpRoundingHeuristic(input, classes, built);
+  std::vector<double> candidate;
+  ASSERT_TRUE(heuristic(built.model, relaxation.x, &candidate));
+  EXPECT_TRUE(built.model.IsFeasible(candidate, 1e-5));
+
+  // Quality: the LP-guided candidate should not be worse than the plain
+  // greedy warm start, and must be within a few moves of the LP bound.
+  auto warm_counts = BuildInitialCounts(input, classes, built);
+  auto warm = MakeWarmStart(input, classes, built, warm_counts);
+  EXPECT_LE(built.model.Objective(candidate), built.model.Objective(warm) + 1e-6);
+
+  // All capacity covered: no shortfall slack in the candidate.
+  for (size_t r = 0; r < input.reservations.size(); ++r) {
+    if (built.shortfall_vars[r] != kNoVar) {
+      EXPECT_NEAR(candidate[built.shortfall_vars[r]], 0.0, 1e-6)
+          << input.reservations[r].name;
+    }
+  }
+}
+
+TEST(LpRoundingTest, SupplyNeverViolated) {
+  RoundingEnv env;
+  ReservationSpec spec;
+  spec.name = "svc";
+  spec.capacity_rru = 60;
+  spec.rru_per_type.assign(env.fleet.catalog.size(), 1.0);
+  ASSERT_TRUE(env.registry.Create(spec).ok());
+  SolveInput input = SnapshotSolveInput(*env.broker, env.registry, env.fleet.catalog);
+  auto classes = BuildEquivalenceClasses(input, Scope::kMsb);
+  BuiltModel built = BuildRasModel(input, classes, SolverConfig(), false);
+
+  SimplexSolver lp;
+  LpResult relaxation = lp.Solve(built.model);
+  ASSERT_EQ(relaxation.status, LpStatus::kOptimal);
+  MipHeuristic heuristic = MakeLpRoundingHeuristic(input, classes, built);
+  std::vector<double> candidate;
+  ASSERT_TRUE(heuristic(built.model, relaxation.x, &candidate));
+
+  // Per-class totals never exceed the class size (the supply rows).
+  for (size_t c = 0; c < classes.size(); ++c) {
+    double used = 0;
+    for (int k : built.class_to_vars[c]) {
+      used += candidate[built.assignment_vars[static_cast<size_t>(k)].var];
+    }
+    EXPECT_LE(used, static_cast<double>(classes[c].count()) + 1e-9);
+  }
+}
+
+TEST(LpRoundingTest, IntegersAreIntegral) {
+  RoundingEnv env;
+  ReservationSpec spec;
+  spec.name = "svc";
+  spec.capacity_rru = 33;
+  spec.rru_per_type.assign(env.fleet.catalog.size(), 1.0);
+  ASSERT_TRUE(env.registry.Create(spec).ok());
+  SolveInput input = SnapshotSolveInput(*env.broker, env.registry, env.fleet.catalog);
+  auto classes = BuildEquivalenceClasses(input, Scope::kMsb);
+  BuiltModel built = BuildRasModel(input, classes, SolverConfig(), false);
+  SimplexSolver lp;
+  LpResult relaxation = lp.Solve(built.model);
+  ASSERT_EQ(relaxation.status, LpStatus::kOptimal);
+  MipHeuristic heuristic = MakeLpRoundingHeuristic(input, classes, built);
+  std::vector<double> candidate;
+  ASSERT_TRUE(heuristic(built.model, relaxation.x, &candidate));
+  for (size_t j = 0; j < built.model.num_variables(); ++j) {
+    if (built.model.variable(j).is_integer) {
+      EXPECT_NEAR(candidate[j], std::round(candidate[j]), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,271 @@
+#include "src/core/online_mover.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/buffer_policy.h"
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+struct MoverSetup {
+  Fleet fleet;
+  std::unique_ptr<ResourceBroker> broker;
+  ReservationRegistry registry;
+  std::unique_ptr<TwineAllocator> twine;
+  std::unique_ptr<OnlineMover> mover;
+  std::vector<ReservationId> buffers;
+
+  MoverSetup() : fleet(GenerateFleet(Options())) {
+    broker = std::make_unique<ResourceBroker>(&fleet.topology);
+    twine = std::make_unique<TwineAllocator>(&fleet.catalog, broker.get());
+    mover = std::make_unique<OnlineMover>(broker.get(), &registry, twine.get());
+    buffers = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.05);
+    // Populate buffers: bind some free servers of each type.
+    for (ReservationId b : buffers) {
+      const ReservationSpec* spec = registry.Find(b);
+      size_t need = static_cast<size_t>(spec->capacity_rru);
+      for (ServerId id = 0; id < broker->num_servers() && need > 0; ++id) {
+        if (broker->record(id).current != kUnassigned) {
+          continue;
+        }
+        if (spec->ValueOfType(fleet.topology.server(id).type) > 0) {
+          broker->SetCurrent(id, b);
+          broker->SetTarget(id, b);
+          --need;
+        }
+      }
+    }
+  }
+
+  static FleetOptions Options() {
+    FleetOptions opts;
+    opts.num_datacenters = 2;
+    opts.msbs_per_datacenter = 2;
+    opts.racks_per_msb = 5;
+    opts.servers_per_rack = 8;
+    return opts;  // 160 servers.
+  }
+
+  ReservationId AddGuaranteed(const std::string& name, double capacity) {
+    ReservationSpec spec;
+    spec.name = name;
+    spec.capacity_rru = capacity;
+    spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+    return *registry.Create(spec);
+  }
+
+  ReservationId AddElastic(const std::string& name) {
+    ReservationSpec spec;
+    spec.name = name;
+    spec.capacity_rru = 0;
+    spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+    spec.is_elastic = true;
+    spec.needs_correlated_buffer = false;
+    return *registry.Create(spec);
+  }
+};
+
+TEST(OnlineMoverTest, ReconcileAppliesTargets) {
+  MoverSetup s;
+  ReservationId res = s.AddGuaranteed("svc", 10);
+  // Target 10 free servers into the reservation.
+  size_t set = 0;
+  for (ServerId id = 0; id < s.broker->num_servers() && set < 10; ++id) {
+    if (s.broker->record(id).current == kUnassigned) {
+      s.broker->SetTarget(id, res);
+      ++set;
+    }
+  }
+  size_t moved = s.mover->ReconcileAll();
+  EXPECT_EQ(moved, 10u);
+  EXPECT_EQ(s.broker->CountInReservation(res), 10u);
+  EXPECT_TRUE(s.broker->PendingMoves().empty());
+  EXPECT_EQ(s.mover->stats().idle_moves, 10u);
+}
+
+TEST(OnlineMoverTest, ReconcilePreemptsContainers) {
+  MoverSetup s;
+  ReservationId res = s.AddGuaranteed("svc", 5);
+  // Bind servers, run a job on them, then retarget one away.
+  std::vector<ServerId> bound;
+  for (ServerId id = 0; id < s.broker->num_servers() && bound.size() < 5; ++id) {
+    if (s.broker->record(id).current == kUnassigned) {
+      s.broker->SetCurrent(id, res);
+      s.broker->SetTarget(id, res);
+      bound.push_back(id);
+    }
+  }
+  JobSpec job;
+  job.name = "j";
+  job.reservation = res;
+  job.container = ContainerSpec{1, 1};
+  job.replicas = 5;
+  auto jid = s.twine->SubmitJob(job);
+  ASSERT_TRUE(jid.ok());
+
+  ServerId victim = kInvalidServer;
+  for (ServerId id : bound) {
+    if (s.twine->containers_on(id) > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidServer);
+  s.broker->SetTarget(victim, kUnassigned);
+  s.mover->ReconcileAll();
+  EXPECT_EQ(s.broker->record(victim).current, kUnassigned);
+  EXPECT_GT(s.mover->stats().containers_preempted, 0u);
+  EXPECT_EQ(s.mover->stats().in_use_moves, 1u);
+  // Replica re-placed on remaining capacity.
+  EXPECT_EQ(s.twine->running_containers(*jid), 5u);
+}
+
+TEST(OnlineMoverTest, FailureReplacedFromSharedBuffer) {
+  MoverSetup s;
+  ReservationId res = s.AddGuaranteed("svc", 10);
+  std::vector<ServerId> bound;
+  for (ServerId id = 0; id < s.broker->num_servers() && bound.size() < 10; ++id) {
+    if (s.broker->record(id).current == kUnassigned) {
+      s.broker->SetCurrent(id, res);
+      bound.push_back(id);
+    }
+  }
+  size_t before = s.broker->CountInReservation(res);
+  ServerId failed = bound[0];
+  s.broker->SetUnavailability(failed, Unavailability::kUnplannedHardware);
+  s.mover->HandleFailure(failed);
+  EXPECT_EQ(s.mover->stats().failures_replaced, 1u);
+  // The reservation gained a healthy replacement (failed one still bound).
+  EXPECT_EQ(s.broker->CountInReservation(res), before + 1);
+}
+
+TEST(OnlineMoverTest, FreePoolFailureIsIgnored) {
+  MoverSetup s;
+  ServerId free_server = kInvalidServer;
+  for (ServerId id = 0; id < s.broker->num_servers(); ++id) {
+    if (s.broker->record(id).current == kUnassigned) {
+      free_server = id;
+      break;
+    }
+  }
+  s.broker->SetUnavailability(free_server, Unavailability::kUnplannedHardware);
+  s.mover->HandleFailure(free_server);
+  EXPECT_EQ(s.mover->stats().failures_replaced, 0u);
+}
+
+TEST(OnlineMoverTest, BufferFailureNotReplaced) {
+  MoverSetup s;
+  ASSERT_FALSE(s.buffers.empty());
+  const auto& members = s.broker->ServersInReservation(s.buffers[0]);
+  ASSERT_FALSE(members.empty());
+  ServerId buffer_server = members[0];
+  s.broker->SetUnavailability(buffer_server, Unavailability::kUnplannedHardware);
+  s.mover->HandleFailure(buffer_server);
+  EXPECT_EQ(s.mover->stats().failures_replaced, 0u);
+}
+
+TEST(OnlineMoverTest, ElasticLoanAndRevoke) {
+  MoverSetup s;
+  ReservationId elastic = s.AddElastic("batch");
+  size_t loaned = s.mover->LoanIdleBuffersToElastic(elastic, 5);
+  EXPECT_GT(loaned, 0u);
+  EXPECT_EQ(s.broker->CountInReservation(elastic), loaned);
+  for (ServerId id : s.broker->ServersInReservation(elastic)) {
+    EXPECT_TRUE(s.broker->record(id).elastic_loan);
+    EXPECT_NE(s.broker->record(id).home, kUnassigned);
+  }
+
+  // Revoke back to the first buffer.
+  ReservationId home = s.broker->record(s.broker->ServersInReservation(elastic)[0]).home;
+  size_t before = s.broker->CountInReservation(home);
+  size_t revoked = s.mover->RevokeElasticLoans(home, 100);
+  EXPECT_GT(revoked, 0u);
+  EXPECT_EQ(s.broker->CountInReservation(home), before + revoked);
+}
+
+TEST(OnlineMoverTest, LoanToNonElasticRejected) {
+  MoverSetup s;
+  ReservationId normal = s.AddGuaranteed("svc", 5);
+  EXPECT_EQ(s.mover->LoanIdleBuffersToElastic(normal, 5), 0u);
+  EXPECT_EQ(s.mover->LoanIdleBuffersToElastic(99999, 5), 0u);
+}
+
+TEST(OnlineMoverTest, HostProfileChangesCounted) {
+  MoverSetup s;
+  // Two reservations with different OS requirements.
+  ReservationSpec kernel_a;
+  kernel_a.name = "kernel-a";
+  kernel_a.capacity_rru = 5;
+  kernel_a.rru_per_type.assign(s.fleet.catalog.size(), 1.0);
+  kernel_a.host_profile = "kernel-5.12-hugepages";
+  ReservationId a = *s.registry.Create(kernel_a);
+  ReservationSpec kernel_b = kernel_a;
+  kernel_b.name = "kernel-b";
+  kernel_b.host_profile = "kernel-6.1-default";
+  ReservationId b = *s.registry.Create(kernel_b);
+
+  ServerId server = kInvalidServer;
+  for (ServerId id = 0; id < s.broker->num_servers(); ++id) {
+    if (s.broker->record(id).current == kUnassigned) {
+      server = id;
+      break;
+    }
+  }
+  // Free (default profile) -> a: reprofile. a -> b: reprofile. b -> b: none.
+  s.broker->SetTarget(server, a);
+  s.mover->ReconcileAll();
+  EXPECT_EQ(s.mover->stats().host_reprofiles, 1u);
+  s.broker->SetTarget(server, b);
+  s.mover->ReconcileAll();
+  EXPECT_EQ(s.mover->stats().host_reprofiles, 2u);
+
+  // Same-profile moves do not reconfigure.
+  ReservationSpec kernel_b2 = kernel_b;
+  kernel_b2.name = "kernel-b2";
+  ReservationId b2 = *s.registry.Create(kernel_b2);
+  s.broker->SetTarget(server, b2);
+  s.mover->ReconcileAll();
+  EXPECT_EQ(s.mover->stats().host_reprofiles, 2u);
+}
+
+TEST(OnlineMoverTest, ReplacementRevokesLoanWhenBufferDrained) {
+  MoverSetup s;
+  ReservationId res = s.AddGuaranteed("svc", 10);
+  std::vector<ServerId> bound;
+  for (ServerId id = 0; id < s.broker->num_servers() && bound.size() < 10; ++id) {
+    if (s.broker->record(id).current == kUnassigned) {
+      s.broker->SetCurrent(id, res);
+      bound.push_back(id);
+    }
+  }
+  // Loan out every idle buffer server; the buffers' member lists drain.
+  ReservationId elastic = s.AddElastic("batch");
+  size_t loaned = s.mover->LoanIdleBuffersToElastic(elastic, 10000);
+  ASSERT_GT(loaned, 0u);
+
+  ServerId failed = bound[0];
+  s.broker->SetUnavailability(failed, Unavailability::kUnplannedHardware);
+  s.mover->HandleFailure(failed);
+  // Replacement must come by revoking an elastic loan.
+  EXPECT_EQ(s.mover->stats().failures_replaced, 1u);
+  EXPECT_GE(s.mover->stats().elastic_revocations, 1u);
+  EXPECT_EQ(s.broker->CountInReservation(res), 11u);
+}
+
+TEST(OnlineMoverTest, FailureOfLoanedServerProtectsHome) {
+  MoverSetup s;
+  ReservationId elastic = s.AddElastic("batch");
+  ASSERT_GT(s.mover->LoanIdleBuffersToElastic(elastic, 3), 0u);
+  ServerId loaned = s.broker->ServersInReservation(elastic)[0];
+  ReservationId home = s.broker->record(loaned).home;
+  // Loaned server fails: its home is a shared buffer, so no replacement
+  // should be drawn (buffers absorb their own random failures).
+  s.broker->SetUnavailability(loaned, Unavailability::kUnplannedHardware);
+  s.mover->HandleFailure(loaned);
+  EXPECT_EQ(s.mover->stats().failures_replaced, 0u);
+  (void)home;
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,78 @@
+#include "src/core/rru.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace {
+
+TEST(RruTest, WebValuesScaleWithGeneration) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  auto profiles = MakePaperServiceProfiles();
+  const ServiceProfile& web = profiles[3];
+  std::vector<double> rru = BuildRruVector(catalog, web);
+  HardwareTypeId c1 = catalog.FindByName("C1");
+  HardwareTypeId c3 = catalog.FindByName("C3");
+  // Web's gen-3 multiplier (1.82) on top of the SKU's compute units.
+  EXPECT_DOUBLE_EQ(rru[c1], 1.0 * 1.0);
+  EXPECT_DOUBLE_EQ(rru[c3], 1.82 * 1.85);
+}
+
+TEST(RruTest, DataStoreFlatAcrossGenerations) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  auto profiles = MakePaperServiceProfiles();
+  std::vector<double> rru = BuildRruVector(catalog, profiles[0]);
+  HardwareTypeId c1 = catalog.FindByName("C1");
+  HardwareTypeId c3 = catalog.FindByName("C3");
+  // DataStore gains nothing from generations; only the SKU baseline differs.
+  EXPECT_DOUBLE_EQ(rru[c1] / catalog.type(c1).compute_units,
+                   rru[c3] / catalog.type(c3).compute_units);
+}
+
+TEST(RruTest, AcceptableTypesFilter) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  auto profiles = MakePaperServiceProfiles();
+  HardwareTypeId c1 = catalog.FindByName("C1");
+  HardwareTypeId c3 = catalog.FindByName("C3");
+  std::vector<double> rru = BuildRruVector(catalog, profiles[3], {c3});
+  EXPECT_EQ(rru[c1], 0.0);
+  EXPECT_GT(rru[c3], 0.0);
+}
+
+TEST(RruTest, CountBasedVector) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  HardwareTypeId c1 = catalog.FindByName("C1");
+  HardwareTypeId c5 = catalog.FindByName("C5");
+  std::vector<double> rru = BuildCountRruVector(catalog, {c1, c5});
+  EXPECT_DOUBLE_EQ(rru[c1], 1.0);
+  EXPECT_DOUBLE_EQ(rru[c5], 1.0);
+  double sum = 0;
+  for (double v : rru) {
+    sum += v;
+  }
+  EXPECT_DOUBLE_EQ(sum, 2.0);
+}
+
+TEST(RruTest, TotalRruAggregation) {
+  std::vector<double> per_type = {1.0, 0.0, 2.5};
+  std::vector<size_t> counts = {4, 7, 2};
+  EXPECT_DOUBLE_EQ(TotalRru(per_type, counts), 4.0 + 5.0);
+}
+
+TEST(RruTest, GpuServiceOnlyValuesGpuSku) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  ServiceProfile ml;
+  ml.name = "ML";
+  ml.relative_value = {0, 1, 1, 1};
+  ml.requires_gpu = true;
+  std::vector<double> rru = BuildRruVector(catalog, ml);
+  for (size_t t = 0; t < catalog.size(); ++t) {
+    if (catalog.type(static_cast<HardwareTypeId>(t)).has_gpu) {
+      EXPECT_GT(rru[t], 0.0);
+    } else {
+      EXPECT_EQ(rru[t], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ras

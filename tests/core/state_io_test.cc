@@ -1,0 +1,162 @@
+#include "src/core/state_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/async_solver.h"
+#include "src/core/buffer_policy.h"
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+FleetOptions Options() {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 2;
+  opts.racks_per_msb = 4;
+  opts.servers_per_rack = 6;
+  return opts;  // 96 servers.
+}
+
+TEST(StateIoTest, RoundTripPreservesEverything) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  EnsureSharedBuffers(registry, fleet.topology, fleet.catalog, 0.02);
+
+  ReservationSpec spec;
+  spec.name = "svc with spaces | and pipes";
+  spec.capacity_rru = 22.5;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  spec.rru_per_type[2] = 1.75;
+  spec.dc_affinity[1] = 0.8;
+  spec.affinity_theta = 0.07;
+  spec.is_storage = true;
+  spec.max_msb_fraction_hard = 0.3;
+  spec.host_profile = "kernel-6.1";
+  ReservationId id = *registry.Create(spec);
+
+  AsyncSolver solver;
+  ASSERT_TRUE(solver.SolveOnce(broker, registry, fleet.catalog).ok());
+  broker.SetCurrent(3, id);
+  broker.SetElasticLoan(7, id, true);
+  broker.SetUnavailability(11, Unavailability::kUnplannedHardware);
+  broker.SetHasContainers(3, true);
+
+  std::string text = SerializeRegionState(broker, registry);
+
+  ResourceBroker restored_broker(&fleet.topology);
+  ReservationRegistry restored_registry;
+  ASSERT_TRUE(DeserializeRegionState(text, restored_broker, restored_registry).ok());
+
+  // Registry round trip.
+  ASSERT_EQ(restored_registry.size(), registry.size());
+  const ReservationSpec* r = restored_registry.Find(id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->name, spec.name);
+  EXPECT_DOUBLE_EQ(r->capacity_rru, 22.5);
+  EXPECT_DOUBLE_EQ(r->rru_per_type[2], 1.75);
+  EXPECT_DOUBLE_EQ(r->dc_affinity.at(1), 0.8);
+  EXPECT_DOUBLE_EQ(r->affinity_theta, 0.07);
+  EXPECT_TRUE(r->is_storage);
+  EXPECT_DOUBLE_EQ(r->max_msb_fraction_hard, 0.3);
+  EXPECT_EQ(r->host_profile, "kernel-6.1");
+
+  // Broker round trip.
+  for (ServerId s = 0; s < broker.num_servers(); ++s) {
+    const ServerRecord& a = broker.record(s);
+    const ServerRecord& b = restored_broker.record(s);
+    EXPECT_EQ(a.current, b.current) << "server " << s;
+    EXPECT_EQ(a.target, b.target) << "server " << s;
+    EXPECT_EQ(a.home, b.home) << "server " << s;
+    EXPECT_EQ(a.elastic_loan, b.elastic_loan) << "server " << s;
+    EXPECT_EQ(a.unavailability, b.unavailability) << "server " << s;
+    EXPECT_EQ(a.has_containers, b.has_containers) << "server " << s;
+  }
+  // Membership indexes rebuilt consistently.
+  for (const ReservationSpec* restored : restored_registry.All()) {
+    EXPECT_EQ(restored_broker.CountInReservation(restored->id),
+              broker.CountInReservation(restored->id));
+  }
+}
+
+TEST(StateIoTest, RestoredRegistryKeepsIdsMonotonic) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  ReservationSpec spec;
+  spec.name = "a";
+  spec.capacity_rru = 5;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  ReservationId old_id = *registry.Create(spec);
+
+  std::string text = SerializeRegionState(broker, registry);
+  ResourceBroker broker2(&fleet.topology);
+  ReservationRegistry registry2;
+  ASSERT_TRUE(DeserializeRegionState(text, broker2, registry2).ok());
+  // New creations after restore never collide with restored ids.
+  spec.name = "b";
+  ReservationId new_id = *registry2.Create(spec);
+  EXPECT_GT(new_id, old_id);
+}
+
+TEST(StateIoTest, RejectsMalformedInput) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  EXPECT_FALSE(DeserializeRegionState("not a snapshot", broker, registry).ok());
+  EXPECT_FALSE(DeserializeRegionState("ras-state v1\nbogus|1|2", broker, registry).ok());
+  EXPECT_FALSE(
+      DeserializeRegionState("ras-state v1\nreservation|1|x", broker, registry).ok());
+  // Server id out of range.
+  EXPECT_FALSE(DeserializeRegionState("ras-state v1\nserver|99999|-|-|-|0|0|0", broker,
+                                      registry)
+                   .ok());
+  // All rejections left the broker untouched.
+  for (ServerId s = 0; s < broker.num_servers(); ++s) {
+    EXPECT_EQ(broker.record(s).current, kUnassigned);
+  }
+}
+
+TEST(StateIoTest, RequiresEmptyRegistry) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  ReservationSpec spec;
+  spec.name = "existing";
+  spec.capacity_rru = 5;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  ASSERT_TRUE(registry.Create(spec).ok());
+  Status status = DeserializeRegionState("ras-state v1\n", broker, registry);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StateIoTest, SolveResumesFromRestoredState) {
+  // The operational story: snapshot, restart the control plane, re-solve —
+  // stability must keep the restored assignment nearly untouched.
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  ReservationSpec spec;
+  spec.name = "svc";
+  spec.capacity_rru = 30;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  ASSERT_TRUE(registry.Create(spec).ok());
+  AsyncSolver solver;
+  ASSERT_TRUE(solver.SolveOnce(broker, registry, fleet.catalog).ok());
+  for (ServerId s = 0; s < broker.num_servers(); ++s) {
+    broker.SetCurrent(s, broker.record(s).target);
+  }
+
+  std::string text = SerializeRegionState(broker, registry);
+  ResourceBroker broker2(&fleet.topology);
+  ReservationRegistry registry2;
+  ASSERT_TRUE(DeserializeRegionState(text, broker2, registry2).ok());
+
+  auto stats = solver.SolveOnce(broker2, registry2, fleet.catalog);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats->moves_total, 4u);
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,137 @@
+#include "src/fleet/fleet_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ras {
+namespace {
+
+TEST(FleetGenTest, SizesMatchOptions) {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 3;
+  opts.racks_per_msb = 4;
+  opts.servers_per_rack = 5;
+  Fleet fleet = GenerateFleet(opts);
+  EXPECT_EQ(fleet.topology.num_datacenters(), 2u);
+  EXPECT_EQ(fleet.topology.num_msbs(), 6u);
+  EXPECT_EQ(fleet.topology.num_racks(), 24u);
+  EXPECT_EQ(fleet.topology.num_servers(), 120u);
+  EXPECT_TRUE(fleet.topology.finalized());
+}
+
+TEST(FleetGenTest, DeterministicInSeed) {
+  FleetOptions opts;
+  opts.seed = 77;
+  Fleet a = GenerateFleet(opts);
+  Fleet b = GenerateFleet(opts);
+  ASSERT_EQ(a.topology.num_servers(), b.topology.num_servers());
+  for (ServerId id = 0; id < a.topology.num_servers(); ++id) {
+    EXPECT_EQ(a.topology.server(id).type, b.topology.server(id).type);
+  }
+}
+
+TEST(FleetGenTest, DifferentSeedsDiffer) {
+  FleetOptions opts;
+  opts.seed = 1;
+  Fleet a = GenerateFleet(opts);
+  opts.seed = 2;
+  Fleet b = GenerateFleet(opts);
+  size_t diff = 0;
+  for (ServerId id = 0; id < a.topology.num_servers(); ++id) {
+    diff += a.topology.server(id).type != b.topology.server(id).type;
+  }
+  EXPECT_GT(diff, 0u);
+}
+
+TEST(FleetGenTest, RacksAreHomogeneous) {
+  Fleet fleet = GenerateFleet(FleetOptions{});
+  for (RackId r = 0; r < fleet.topology.num_racks(); ++r) {
+    const auto& servers = fleet.topology.ServersInRack(r);
+    ASSERT_FALSE(servers.empty());
+    HardwareTypeId type = fleet.topology.server(servers[0]).type;
+    for (ServerId id : servers) {
+      EXPECT_EQ(fleet.topology.server(id).type, type);
+    }
+  }
+}
+
+TEST(FleetGenTest, MixtureVariesAcrossMsbs) {
+  // The Figure 2 property: different MSBs carry different SKU subsets.
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 7;
+  opts.racks_per_msb = 12;
+  Fleet fleet = GenerateFleet(opts);
+  std::set<std::vector<bool>> signatures;
+  for (MsbId m = 0; m < fleet.topology.num_msbs(); ++m) {
+    std::vector<double> mix = fleet.TypeMixInMsb(m);
+    std::vector<bool> present;
+    for (double v : mix) {
+      present.push_back(v > 0);
+    }
+    signatures.insert(present);
+  }
+  EXPECT_GT(signatures.size(), 2u);
+}
+
+TEST(FleetGenTest, OldMsbsLackGen3NewMsbsLackGen1) {
+  FleetOptions opts;
+  opts.num_datacenters = 3;
+  opts.msbs_per_datacenter = 6;
+  opts.racks_per_msb = 15;
+  Fleet fleet = GenerateFleet(opts);
+  const HardwareCatalog& catalog = fleet.catalog;
+  auto gen_fraction = [&](MsbId m, int gen) {
+    std::vector<double> mix = fleet.TypeMixInMsb(m);
+    double f = 0;
+    for (size_t t = 0; t < mix.size(); ++t) {
+      if (catalog.type(static_cast<HardwareTypeId>(t)).cpu_generation == gen) {
+        f += mix[t];
+      }
+    }
+    return f;
+  };
+  // MSB 0 is the oldest (age 1.0): no generation-3 hardware.
+  EXPECT_EQ(gen_fraction(0, 3), 0.0);
+  // The newest MSB (last index): no generation-1 hardware.
+  MsbId newest = static_cast<MsbId>(fleet.topology.num_msbs() - 1);
+  EXPECT_EQ(gen_fraction(newest, 1), 0.0);
+}
+
+TEST(FleetGenTest, GpuOnlyInNewestQuarter) {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 8;
+  opts.racks_per_msb = 20;
+  Fleet fleet = GenerateFleet(opts);
+  HardwareTypeId gpu = fleet.catalog.FindByName("C7-S1");
+  ASSERT_NE(gpu, kInvalidHardwareType);
+  size_t total_msbs = fleet.topology.num_msbs();
+  for (MsbId m = 0; m < total_msbs; ++m) {
+    if (fleet.CountInMsb(m, gpu) > 0) {
+      double age = 1.0 - static_cast<double>(m) / static_cast<double>(total_msbs - 1);
+      EXPECT_LE(age, 0.25) << "GPU SKU found in old MSB " << m;
+    }
+  }
+}
+
+TEST(FleetGenTest, TypeMixSumsToOne) {
+  Fleet fleet = GenerateFleet(FleetOptions{});
+  double sum = 0;
+  for (double v : fleet.TypeMix()) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (MsbId m = 0; m < fleet.topology.num_msbs(); ++m) {
+    double msb_sum = 0;
+    for (double v : fleet.TypeMixInMsb(m)) {
+      msb_sum += v;
+    }
+    EXPECT_NEAR(msb_sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ras

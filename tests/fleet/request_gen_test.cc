@@ -1,0 +1,88 @@
+#include "src/fleet/request_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ras {
+namespace {
+
+TEST(RequestGenTest, CountAndRanges) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  RequestGenOptions opts;
+  opts.count = 500;
+  auto requests = GenerateRequests(catalog, opts);
+  ASSERT_EQ(requests.size(), 500u);
+  for (const auto& r : requests) {
+    EXPECT_GE(r.units, 1.0);
+    EXPECT_LE(r.units, 30000.0);
+    EXPECT_FALSE(r.acceptable_types.empty());
+    EXPECT_LE(r.acceptable_types.size(), catalog.size());
+  }
+}
+
+TEST(RequestGenTest, Deterministic) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  RequestGenOptions opts;
+  opts.count = 50;
+  auto a = GenerateRequests(catalog, opts);
+  auto b = GenerateRequests(catalog, opts);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].units, b[i].units);
+    EXPECT_EQ(a[i].acceptable_types, b[i].acceptable_types);
+  }
+}
+
+TEST(RequestGenTest, TrimodalTypeFanout) {
+  // Figure 4: a large single-type mode, a dominant ~8-type mode, and a small
+  // 10+-type tail.
+  HardwareCatalog catalog = MakePaperCatalog();
+  RequestGenOptions opts;
+  opts.count = 3000;
+  auto requests = GenerateRequests(catalog, opts);
+  std::map<size_t, int> fanout;
+  for (const auto& r : requests) {
+    fanout[r.acceptable_types.size()]++;
+  }
+  EXPECT_GT(fanout[1], 600);  // ~35%.
+  int mid = 0;
+  for (size_t k = 6; k <= 9; ++k) {
+    mid += fanout[k];
+  }
+  EXPECT_GT(mid, 1000);  // ~50%.
+  int wide = 0;
+  for (size_t k = 10; k <= 12; ++k) {
+    wide += fanout[k];
+  }
+  EXPECT_GT(wide, 200);  // ~15%.
+}
+
+TEST(RequestGenTest, SingleTypeRequestsUseLatestGeneration) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  RequestGenOptions opts;
+  opts.count = 500;
+  auto requests = GenerateRequests(catalog, opts);
+  for (const auto& r : requests) {
+    if (r.acceptable_types.size() == 1) {
+      EXPECT_EQ(catalog.type(r.acceptable_types[0]).cpu_generation, 3);
+    }
+  }
+}
+
+TEST(RequestGenTest, MajorityInMidBand) {
+  // "The majority of requests range from a few hundred to a few thousand."
+  HardwareCatalog catalog = MakePaperCatalog();
+  RequestGenOptions opts;
+  opts.count = 2000;
+  auto requests = GenerateRequests(catalog, opts);
+  int mid_band = 0;
+  for (const auto& r : requests) {
+    if (r.units >= 100 && r.units <= 5000) {
+      ++mid_band;
+    }
+  }
+  EXPECT_GT(mid_band, 1000);
+}
+
+}  // namespace
+}  // namespace ras

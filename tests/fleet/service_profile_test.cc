@@ -1,0 +1,69 @@
+#include "src/fleet/service_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/hardware.h"
+
+namespace ras {
+namespace {
+
+TEST(ServiceProfileTest, PaperProfilesPresent) {
+  auto profiles = MakePaperServiceProfiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].name, "DataStore");
+  EXPECT_EQ(profiles[3].name, "Web");
+  EXPECT_EQ(profiles[4].name, "FleetAvg");
+}
+
+TEST(ServiceProfileTest, WebHeadlineNumbers) {
+  // Figure 3: Web gains 1.47x on gen 2 and 1.82x on gen 3.
+  auto profiles = MakePaperServiceProfiles();
+  const ServiceProfile& web = profiles[3];
+  EXPECT_DOUBLE_EQ(web.relative_value[2], 1.47);
+  EXPECT_DOUBLE_EQ(web.relative_value[3], 1.82);
+}
+
+TEST(ServiceProfileTest, DataStoreGainsNothing) {
+  auto profiles = MakePaperServiceProfiles();
+  const ServiceProfile& ds = profiles[0];
+  EXPECT_DOUBLE_EQ(ds.relative_value[1], 1.0);
+  EXPECT_DOUBLE_EQ(ds.relative_value[2], 1.0);
+  EXPECT_DOUBLE_EQ(ds.relative_value[3], 1.0);
+  EXPECT_TRUE(ds.is_storage);
+}
+
+TEST(ServiceProfileTest, ValueOfRespectsGeneration) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  auto profiles = MakePaperServiceProfiles();
+  const ServiceProfile& web = profiles[3];
+  const HardwareType& gen1 = catalog.type(catalog.FindByName("C1"));
+  const HardwareType& gen3 = catalog.type(catalog.FindByName("C3"));
+  EXPECT_DOUBLE_EQ(web.ValueOf(gen1), 1.0);
+  EXPECT_DOUBLE_EQ(web.ValueOf(gen3), 1.82);
+}
+
+TEST(ServiceProfileTest, ExclusionsAndGpuRequirement) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  ServiceProfile p;
+  p.relative_value = {0, 1, 1, 1};
+  p.excluded_categories = {4};  // No storage SKUs.
+  EXPECT_EQ(p.ValueOf(catalog.type(catalog.FindByName("C4-S2"))), 0.0);
+  EXPECT_GT(p.ValueOf(catalog.type(catalog.FindByName("C1"))), 0.0);
+
+  ServiceProfile ml;
+  ml.relative_value = {0, 1, 1, 1};
+  ml.requires_gpu = true;
+  EXPECT_EQ(ml.ValueOf(catalog.type(catalog.FindByName("C3"))), 0.0);
+  EXPECT_GT(ml.ValueOf(catalog.type(catalog.FindByName("C7-S1"))), 0.0);
+}
+
+TEST(ServiceProfileTest, ZeroGenerationValueBlocksType) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  ServiceProfile p;
+  p.relative_value = {0, 0, 1, 1};  // Cannot run on generation 1 at all.
+  EXPECT_EQ(p.ValueOf(catalog.type(catalog.FindByName("C1"))), 0.0);
+  EXPECT_GT(p.ValueOf(catalog.type(catalog.FindByName("C2-S1"))), 0.0);
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,181 @@
+#include "src/health/health.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+FleetOptions MediumOptions() {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 3;
+  opts.racks_per_msb = 5;
+  opts.servers_per_rack = 10;
+  return opts;  // 300 servers.
+}
+
+TEST(HealthGeneratorTest, ScheduleSortedAndWithinHorizon) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  HealthEventGenerator gen(&fleet.topology, HealthRates());
+  Rng rng(3);
+  auto schedule = gen.GenerateSchedule(SimTime{0}, Days(30), rng);
+  ASSERT_FALSE(schedule.empty());
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule[i - 1].start, schedule[i].start);
+  }
+  for (const auto& e : schedule) {
+    EXPECT_GE(e.start.seconds, 0);
+    EXPECT_LT(e.start.seconds, Days(30).seconds);
+    EXPECT_GE(e.duration.seconds, 60);
+    EXPECT_FALSE(e.servers.empty());
+  }
+}
+
+TEST(HealthGeneratorTest, EventMixMatchesRates) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  HealthEventGenerator gen(&fleet.topology, HealthRates());
+  Rng rng(5);
+  auto schedule = gen.GenerateSchedule(SimTime{0}, Days(90), rng);
+  size_t counts[5] = {0, 0, 0, 0, 0};
+  for (const auto& e : schedule) {
+    counts[static_cast<int>(e.kind)]++;
+  }
+  // Software failures are ~10x hardware failures per the default rates.
+  EXPECT_GT(counts[static_cast<int>(HealthEventKind::kServerSoftware)],
+            counts[static_cast<int>(HealthEventKind::kServerHardware)]);
+  // Maintenance waves: ~6 per MSB-month x 6 MSBs x 3 months = ~108.
+  size_t maint = counts[static_cast<int>(HealthEventKind::kPlannedMaintenance)];
+  EXPECT_GT(maint, 60u);
+  EXPECT_LT(maint, 200u);
+}
+
+TEST(HealthGeneratorTest, MaintenanceChunksCapped) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  HealthRates rates;
+  HealthEventGenerator gen(&fleet.topology, rates);
+  Rng rng(7);
+  auto schedule = gen.GenerateSchedule(SimTime{0}, Days(120), rng);
+  for (const auto& e : schedule) {
+    if (e.kind == HealthEventKind::kPlannedMaintenance) {
+      // <= 25% of an MSB concurrently (Section 3.3.1).
+      MsbId msb = fleet.topology.server(e.servers[0]).msb;
+      size_t msb_size = fleet.topology.ServersInMsb(msb).size();
+      EXPECT_LE(e.servers.size(),
+                static_cast<size_t>(static_cast<double>(msb_size) * rates.maintenance_chunk_fraction) + 1);
+    }
+  }
+}
+
+TEST(HealthServiceTest, AppliesAndClearsEvents) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  ResourceBroker broker(&fleet.topology);
+  HealthCheckService health(&broker);
+
+  HealthEvent e;
+  e.kind = HealthEventKind::kServerHardware;
+  e.start = SimTime{100};
+  e.duration = Seconds(500);
+  e.servers = {7};
+  health.Inject(e);
+
+  health.AdvanceTo(SimTime{50});
+  EXPECT_EQ(broker.record(7).unavailability, Unavailability::kNone);
+  health.AdvanceTo(SimTime{100});
+  EXPECT_EQ(broker.record(7).unavailability, Unavailability::kUnplannedHardware);
+  EXPECT_EQ(health.ActiveCount(HealthEventKind::kServerHardware), 1u);
+  health.AdvanceTo(SimTime{600});
+  EXPECT_EQ(broker.record(7).unavailability, Unavailability::kNone);
+  EXPECT_EQ(health.ActiveCount(HealthEventKind::kServerHardware), 0u);
+}
+
+TEST(HealthServiceTest, SeverityComposition) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  ResourceBroker broker(&fleet.topology);
+  HealthCheckService health(&broker);
+
+  HealthEvent maint;
+  maint.kind = HealthEventKind::kPlannedMaintenance;
+  maint.start = SimTime{0};
+  maint.duration = Seconds(1000);
+  maint.servers = {3};
+  health.Inject(maint);
+
+  HealthEvent hw;
+  hw.kind = HealthEventKind::kServerHardware;
+  hw.start = SimTime{100};
+  hw.duration = Seconds(100);
+  hw.servers = {3};
+  health.Inject(hw);
+
+  health.AdvanceTo(SimTime{50});
+  EXPECT_EQ(broker.record(3).unavailability, Unavailability::kPlannedMaintenance);
+  health.AdvanceTo(SimTime{150});
+  EXPECT_EQ(broker.record(3).unavailability, Unavailability::kUnplannedHardware);
+  health.AdvanceTo(SimTime{250});
+  // Hardware repair finished; maintenance still active.
+  EXPECT_EQ(broker.record(3).unavailability, Unavailability::kPlannedMaintenance);
+  health.AdvanceTo(SimTime{1100});
+  EXPECT_EQ(broker.record(3).unavailability, Unavailability::kNone);
+}
+
+TEST(HealthServiceTest, FailureAndRecoveryCallbacks) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  ResourceBroker broker(&fleet.topology);
+  HealthCheckService health(&broker);
+  std::vector<ServerId> failed, recovered;
+  health.SetFailureCallback([&](ServerId id, HealthEventKind) { failed.push_back(id); });
+  health.SetRecoveryCallback([&](ServerId id) { recovered.push_back(id); });
+
+  HealthEvent e;
+  e.kind = HealthEventKind::kServerSoftware;
+  e.start = SimTime{10};
+  e.duration = Seconds(100);
+  e.servers = {4, 9};
+  health.Inject(e);
+  health.AdvanceTo(SimTime{20});
+  EXPECT_EQ(failed, (std::vector<ServerId>{4, 9}));
+  health.AdvanceTo(SimTime{200});
+  EXPECT_EQ(recovered, (std::vector<ServerId>{4, 9}));
+}
+
+TEST(HealthServiceTest, MaintenanceDoesNotFireFailureCallback) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  ResourceBroker broker(&fleet.topology);
+  HealthCheckService health(&broker);
+  int failures = 0;
+  health.SetFailureCallback([&](ServerId, HealthEventKind) { ++failures; });
+
+  HealthEvent e;
+  e.kind = HealthEventKind::kPlannedMaintenance;
+  e.start = SimTime{0};
+  e.duration = Seconds(100);
+  e.servers = {1};
+  health.Inject(e);
+  health.AdvanceTo(SimTime{50});
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(HealthServiceTest, CorrelatedFailureTakesWholeMsb) {
+  Fleet fleet = GenerateFleet(MediumOptions());
+  ResourceBroker broker(&fleet.topology);
+  HealthCheckService health(&broker);
+
+  HealthEvent e;
+  e.kind = HealthEventKind::kMsbCorrelatedFailure;
+  e.start = SimTime{0};
+  e.duration = Hours(8);
+  e.servers = fleet.topology.ServersInMsb(2);
+  health.Inject(e);
+  health.AdvanceTo(SimTime{1});
+  for (ServerId id : fleet.topology.ServersInMsb(2)) {
+    EXPECT_TRUE(IsUnplanned(broker.record(id).unavailability));
+  }
+  for (ServerId id : fleet.topology.ServersInMsb(0)) {
+    EXPECT_FALSE(IsUnplanned(broker.record(id).unavailability));
+  }
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,77 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(SimTime{30}, [&](SimTime) { order.push_back(3); });
+  loop.ScheduleAt(SimTime{10}, [&](SimTime) { order.push_back(1); });
+  loop.ScheduleAt(SimTime{20}, [&](SimTime) { order.push_back(2); });
+  loop.RunUntil(SimTime{100});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime{100});
+}
+
+TEST(EventLoopTest, FifoTieBreakAtSameTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(SimTime{5}, [&](SimTime) { order.push_back(1); });
+  loop.ScheduleAt(SimTime{5}, [&](SimTime) { order.push_back(2); });
+  loop.ScheduleAt(SimTime{5}, [&](SimTime) { order.push_back(3); });
+  loop.RunUntil(SimTime{5});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, EventsBeyondHorizonStayPending) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(SimTime{50}, [&](SimTime) { ++fired; });
+  loop.ScheduleAt(SimTime{150}, [&](SimTime) { ++fired; });
+  loop.RunUntil(SimTime{100});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.RunUntil(SimTime{200});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  std::vector<int64_t> fire_times;
+  loop.ScheduleAt(SimTime{10}, [&](SimTime t) {
+    fire_times.push_back(t.seconds);
+    loop.ScheduleAfter(Seconds(15), [&](SimTime t2) { fire_times.push_back(t2.seconds); });
+  });
+  loop.RunUntil(SimTime{100});
+  EXPECT_EQ(fire_times, (std::vector<int64_t>{10, 25}));
+}
+
+TEST(EventLoopTest, RecurringEvents) {
+  EventLoop loop;
+  std::vector<int64_t> fire_times;
+  loop.ScheduleEvery(SimTime{0}, Hours(1), [&](SimTime t) { fire_times.push_back(t.seconds); });
+  loop.RunUntil(SimTime{3 * 3600});
+  ASSERT_EQ(fire_times.size(), 4u);  // t=0, 1h, 2h, 3h.
+  EXPECT_EQ(fire_times[3], 3 * 3600);
+  // Continues after further RunUntil.
+  loop.RunUntil(SimTime{4 * 3600});
+  EXPECT_EQ(fire_times.size(), 5u);
+}
+
+TEST(EventLoopTest, PastScheduleClampsToNow) {
+  EventLoop loop;
+  loop.RunUntil(SimTime{100});
+  int fired = 0;
+  loop.ScheduleAt(SimTime{10}, [&](SimTime t) {
+    EXPECT_EQ(t, SimTime{100});
+    ++fired;
+  });
+  loop.RunUntil(SimTime{100});
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,184 @@
+// Integration tests: a whole simulated region driven through health events,
+// solver rounds, container workloads, and failure drills.
+
+#include "src/sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace {
+
+ScenarioOptions SmallScenario() {
+  ScenarioOptions opts;
+  opts.fleet.num_datacenters = 2;
+  opts.fleet.msbs_per_datacenter = 3;
+  opts.fleet.racks_per_msb = 4;
+  opts.fleet.servers_per_rack = 6;
+  opts.fleet.seed = 5;
+  opts.seed = 5;
+  return opts;  // 144 servers.
+}
+
+ReservationSpec AnySpec(const RegionScenario& s, const std::string& name, double capacity) {
+  ReservationSpec spec;
+  spec.name = name;
+  spec.capacity_rru = capacity;
+  spec.rru_per_type.assign(s.fleet.catalog.size(), 1.0);
+  return spec;
+}
+
+TEST(ScenarioTest, SolveRoundMaterializesCapacity) {
+  RegionScenario s(SmallScenario());
+  auto id = s.registry.Create(AnySpec(s, "svc", 40));
+  ASSERT_TRUE(id.ok());
+  auto stats = s.SolveRound();
+  ASSERT_TRUE(stats.ok());
+  // After reconcile, current bindings match targets.
+  EXPECT_TRUE(s.broker->PendingMoves().empty());
+  EXPECT_GE(s.broker->CountInReservation(*id), 40u);
+}
+
+TEST(ScenarioTest, ContainersRideThroughSolve) {
+  RegionScenario s(SmallScenario());
+  auto id = s.registry.Create(AnySpec(s, "svc", 30));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(s.SolveRound().ok());
+
+  JobSpec job;
+  job.name = "web";
+  job.reservation = *id;
+  job.container = ContainerSpec{4, 8};
+  job.replicas = 40;
+  auto jid = s.twine->SubmitJob(job);
+  ASSERT_TRUE(jid.ok());
+  EXPECT_GT(s.twine->running_containers(*jid), 30u);
+
+  // Another solve rebalances; workload must stay placed.
+  ASSERT_TRUE(s.SolveRound().ok());
+  EXPECT_EQ(s.twine->running_containers(*jid) + s.twine->pending_containers(*jid), 40u);
+}
+
+TEST(ScenarioTest, MsbFailureAbsorbedByEmbeddedBuffer) {
+  RegionScenario s(SmallScenario());
+  auto id = s.registry.Create(AnySpec(s, "svc", 40));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(s.SolveRound().ok());
+
+  JobSpec job;
+  job.name = "web";
+  job.reservation = *id;
+  job.container = ContainerSpec{8, 16};
+  job.replicas = 30;
+  auto jid = s.twine->SubmitJob(job);
+  ASSERT_TRUE(jid.ok());
+
+  // Kill the MSB where the reservation holds the most servers.
+  std::map<MsbId, size_t> per_msb;
+  for (ServerId sid : s.broker->ServersInReservation(*id)) {
+    per_msb[s.fleet.topology.server(sid).msb]++;
+  }
+  MsbId worst = per_msb.begin()->first;
+  for (const auto& [msb, count] : per_msb) {
+    if (count > per_msb[worst]) {
+      worst = msb;
+    }
+  }
+  HealthEvent outage;
+  outage.kind = HealthEventKind::kMsbCorrelatedFailure;
+  outage.start = s.loop.now();
+  outage.duration = Hours(8);
+  outage.servers = s.fleet.topology.ServersInMsb(worst);
+  s.health->Inject(outage);
+  s.health->AdvanceTo(s.loop.now() + Seconds(1));
+
+  // Displaced replicas re-place onto the embedded buffer inside the same
+  // reservation — no mover action needed (Section 3.3.1).
+  for (ServerId sid : s.fleet.topology.ServersInMsb(worst)) {
+    if (s.twine->containers_on(sid) > 0) {
+      s.twine->EvictServer(sid);
+    }
+  }
+  s.twine->RetryPending();
+  EXPECT_EQ(s.twine->running_containers(*jid), 30u);
+}
+
+TEST(ScenarioTest, RandomFailureTriggersFastReplacement) {
+  RegionScenario s(SmallScenario());
+  auto id = s.registry.Create(AnySpec(s, "svc", 40));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(s.SolveRound().ok());
+  s.ArmHealth(Days(1));
+
+  size_t before = s.broker->CountInReservation(*id);
+  ServerId victim = s.broker->ServersInReservation(*id)[0];
+  HealthEvent failure;
+  failure.kind = HealthEventKind::kServerHardware;
+  failure.start = s.loop.now();
+  failure.duration = Days(3);
+  failure.servers = {victim};
+  s.health->Inject(failure);
+  s.health->AdvanceTo(s.loop.now() + Seconds(1));
+  // Replacement pulled from the shared buffer via the failure callback.
+  EXPECT_EQ(s.mover->stats().failures_replaced, 1u);
+  EXPECT_EQ(s.broker->CountInReservation(*id), before + 1);
+}
+
+TEST(ScenarioTest, PowerProbesProduceSaneValues) {
+  RegionScenario s(SmallScenario());
+  auto draws = s.MsbPowerDraw();
+  EXPECT_EQ(draws.size(), s.fleet.topology.num_msbs());
+  for (double d : draws) {
+    EXPECT_GT(d, 0.0);
+  }
+  double var = s.PowerUtilizationVariance();
+  EXPECT_GE(var, 0.0);
+  EXPECT_LT(var, 1.0);
+}
+
+TEST(ScenarioTest, CrossDcTrafficFractionBounds) {
+  RegionScenario s(SmallScenario());
+  auto id = s.registry.Create(AnySpec(s, "presto", 30));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(s.SolveRound().ok());
+  std::map<DatacenterId, double> data_share = {{0, 1.0}};  // All data in DC 0.
+  double cross = s.CrossDcTrafficFraction(*id, data_share);
+  EXPECT_GE(cross, 0.0);
+  EXPECT_LE(cross, 1.0);
+  // Spread placement: a good chunk of compute is outside DC 0.
+  EXPECT_GT(cross, 0.2);
+}
+
+TEST(ScenarioTest, AffinityReducesCrossDcTraffic) {
+  ScenarioOptions opts = SmallScenario();
+  RegionScenario s(opts);
+  ReservationSpec spec = AnySpec(s, "presto", 30);
+  auto id = s.registry.Create(spec);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(s.SolveRound().ok());
+  std::map<DatacenterId, double> data_share = {{0, 1.0}};
+  double before = s.CrossDcTrafficFraction(*id, data_share);
+
+  // Enable the affinity constraint (Expression 7) and re-solve. Data lives
+  // entirely in DC 0; A > 1 keeps the embedded buffer local too (shares are
+  // relative to C_r, which excludes the buffer).
+  ReservationSpec updated = *s.registry.Find(*id);
+  updated.dc_affinity[0] = 1.3;
+  updated.affinity_theta = 0.1;
+  ASSERT_TRUE(s.registry.Update(updated).ok());
+  ASSERT_TRUE(s.SolveRound().ok());
+  double after = s.CrossDcTrafficFraction(*id, data_share);
+  EXPECT_LT(after, before * 0.7);  // Figure 15's direction, comfortably.
+}
+
+TEST(ScenarioTest, UnavailabilityProbe) {
+  RegionScenario s(SmallScenario());
+  EXPECT_EQ(s.UnavailableFraction(true), 0.0);
+  EXPECT_EQ(s.UnavailableFraction(false), 0.0);
+  s.broker->SetUnavailability(0, Unavailability::kPlannedMaintenance);
+  s.broker->SetUnavailability(1, Unavailability::kUnplannedHardware);
+  EXPECT_GT(s.UnavailableFraction(true), 0.0);
+  EXPECT_GT(s.UnavailableFraction(false), 0.0);
+}
+
+}  // namespace
+}  // namespace ras

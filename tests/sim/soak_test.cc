@@ -1,0 +1,182 @@
+// Region soak test: several simulated days of everything at once — solver
+// rounds, health events, capacity churn, failure replacement, elastic loans
+// and revocations, container workloads — with system-wide invariants checked
+// after every round.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/sim/scenario.h"
+
+namespace ras {
+namespace {
+
+class SoakTest : public ::testing::Test {
+ protected:
+  static ScenarioOptions Options() {
+    ScenarioOptions opts;
+    opts.fleet.num_datacenters = 2;
+    opts.fleet.msbs_per_datacenter = 3;
+    opts.fleet.racks_per_msb = 4;
+    opts.fleet.servers_per_rack = 8;
+    opts.fleet.seed = 31337;
+    opts.seed = 31337;
+    opts.solver.phase1_mip.max_nodes = 12;  // Keep the soak fast.
+    opts.solver.phase2_mip.max_nodes = 8;
+    return opts;  // 192 servers.
+  }
+
+  // System-wide invariants that must hold at any quiescent point.
+  void CheckInvariants(RegionScenario& sim) {
+    // 1. Broker membership index is consistent with records.
+    std::map<ReservationId, size_t> counted;
+    for (ServerId id = 0; id < sim.broker->num_servers(); ++id) {
+      counted[sim.broker->record(id).current]++;
+    }
+    for (const auto& [res, count] : counted) {
+      EXPECT_EQ(sim.broker->CountInReservation(res), count) << "reservation " << res;
+    }
+    // 2. No server is a member of two reservations (index is a partition).
+    std::set<ServerId> seen;
+    for (const auto& [res, count] : counted) {
+      for (ServerId id : sim.broker->ServersInReservation(res)) {
+        EXPECT_TRUE(seen.insert(id).second) << "server " << id << " in two reservations";
+      }
+    }
+    // 3. Elastic-loan flags are consistent: loaned servers sit in elastic
+    // reservations and have a home.
+    for (ServerId id = 0; id < sim.broker->num_servers(); ++id) {
+      const ServerRecord& rec = sim.broker->record(id);
+      if (rec.elastic_loan) {
+        const ReservationSpec* owner = sim.registry.Find(rec.current);
+        ASSERT_NE(owner, nullptr);
+        EXPECT_TRUE(owner->is_elastic);
+        EXPECT_NE(rec.home, kUnassigned);
+      }
+    }
+    // 4. has_containers agrees with the allocator's view.
+    for (ServerId id = 0; id < sim.broker->num_servers(); ++id) {
+      EXPECT_EQ(sim.broker->record(id).has_containers, sim.twine->containers_on(id) > 0)
+          << "server " << id;
+    }
+    // 5. Containers only run on servers currently bound to their job's
+    // reservation (checked indirectly: every busy server is bound somewhere).
+    for (ServerId id = 0; id < sim.broker->num_servers(); ++id) {
+      if (sim.twine->containers_on(id) > 0) {
+        EXPECT_NE(sim.broker->record(id).current, kUnassigned);
+      }
+    }
+  }
+};
+
+TEST_F(SoakTest, ThreeSimulatedDays) {
+  RegionScenario sim(Options());
+
+  // Workload: three guaranteed services with containers, one elastic.
+  std::vector<ReservationId> services;
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 3; ++i) {
+    ReservationSpec spec;
+    spec.name = "svc-" + std::to_string(i);
+    spec.capacity_rru = 25 + 5 * i;
+    spec.rru_per_type.assign(sim.fleet.catalog.size(), 1.0);
+    services.push_back(*sim.registry.Create(spec));
+  }
+  ASSERT_TRUE(sim.SolveRound().ok());
+  for (size_t i = 0; i < services.size(); ++i) {
+    JobSpec job;
+    job.name = "job-" + std::to_string(i);
+    job.reservation = services[i];
+    job.container = ContainerSpec{16, 32};
+    job.replicas = 20;
+    jobs.push_back(*sim.twine->SubmitJob(job));
+  }
+  ReservationSpec elastic;
+  elastic.name = "batch";
+  elastic.capacity_rru = 0;
+  elastic.rru_per_type.assign(sim.fleet.catalog.size(), 1.0);
+  elastic.is_elastic = true;
+  elastic.needs_correlated_buffer = false;
+  ReservationId batch = *sim.registry.Create(elastic);
+
+  sim.ArmHealth(Days(3));
+
+  for (int hour = 0; hour < 3 * 24; ++hour) {
+    SimTime now = SimTime{static_cast<int64_t>(hour) * 3600};
+    sim.health->AdvanceTo(now);
+    // Capacity churn every few hours.
+    if (hour % 5 == 2) {
+      size_t which = static_cast<size_t>(sim.rng.UniformInt(0, 2));
+      ReservationSpec spec = *sim.registry.Find(services[which]);
+      spec.capacity_rru = std::max(15.0, spec.capacity_rru * sim.rng.Uniform(0.9, 1.12));
+      ASSERT_TRUE(sim.registry.Update(spec).ok());
+    }
+    // Elastic loans in quiet hours, solve every 6h, reconcile hourly.
+    if (hour % 24 == 3) {
+      sim.mover->LoanIdleBuffersToElastic(batch, 3);
+    }
+    if (hour % 6 == 0) {
+      auto stats = sim.SolveRound();
+      ASSERT_TRUE(stats.ok()) << "hour " << hour;
+    } else {
+      sim.mover->ReconcileAll();
+      sim.twine->RetryPending();
+    }
+    CheckInvariants(sim);
+  }
+
+  // After three days: guarantees hold — each service has at least its
+  // capacity in healthy effective servers, and every replica that fits runs.
+  for (size_t i = 0; i < services.size(); ++i) {
+    const ReservationSpec* spec = sim.registry.Find(services[i]);
+    size_t healthy = 0;
+    for (ServerId id : sim.broker->ServersInReservation(services[i])) {
+      healthy += IsUnplanned(sim.broker->record(id).unavailability) ? 0 : 1;
+    }
+    EXPECT_GE(static_cast<double>(healthy) + 1.0, spec->capacity_rru)
+        << spec->name << " lost its guarantee";
+    EXPECT_EQ(sim.twine->running_containers(jobs[i]) +
+                  static_cast<size_t>(sim.twine->pending_containers(jobs[i])),
+              20u);
+  }
+}
+
+TEST_F(SoakTest, SurvivesBackToBackMsbFailures) {
+  RegionScenario sim(Options());
+  ReservationSpec spec;
+  spec.name = "svc";
+  spec.capacity_rru = 40;
+  spec.rru_per_type.assign(sim.fleet.catalog.size(), 1.0);
+  ReservationId id = *sim.registry.Create(spec);
+  ASSERT_TRUE(sim.SolveRound().ok());
+
+  // Fail each MSB in turn for an hour, solving in between: the system must
+  // keep the guarantee whenever the region can physically support it.
+  for (MsbId m = 0; m < sim.fleet.topology.num_msbs(); ++m) {
+    HealthEvent outage;
+    outage.kind = HealthEventKind::kMsbCorrelatedFailure;
+    outage.start = sim.loop.now();
+    outage.duration = Hours(1);
+    outage.servers = sim.fleet.topology.ServersInMsb(m);
+    sim.health->Inject(outage);
+    sim.health->AdvanceTo(sim.loop.now() + Seconds(1));
+
+    // During the outage the embedded buffer covers: healthy servers still
+    // reach the requested capacity.
+    size_t healthy = 0;
+    for (ServerId sid : sim.broker->ServersInReservation(id)) {
+      healthy += IsUnplanned(sim.broker->record(sid).unavailability) ? 0 : 1;
+    }
+    EXPECT_GE(static_cast<double>(healthy) + 1e-9, 40.0) << "during MSB " << m << " outage";
+
+    sim.health->AdvanceTo(sim.loop.now() + Hours(2));  // Recover.
+    sim.loop.RunUntil(sim.loop.now() + Hours(2));
+    ASSERT_TRUE(sim.SolveRound().ok());
+    CheckInvariants(sim);
+  }
+}
+
+}  // namespace
+}  // namespace ras

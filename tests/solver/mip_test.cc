@@ -1,0 +1,258 @@
+#include "src/solver/mip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace ras {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TEST(MipTest, PureLpPassesThrough) {
+  Model m;
+  VarId x = m.AddContinuous(0, 4, -1.0);
+  (void)x;
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, kTol);
+}
+
+TEST(MipTest, SimpleIntegerRounding) {
+  // max x st 2x <= 7, x integer -> x = 3.
+  Model m;
+  VarId x = m.AddInteger(0, kInf, -1.0);
+  RowId r1 = m.AddRow(-kInf, 7);
+  m.AddCoefficient(r1, x, 2);
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 3.0, kTol);
+  EXPECT_NEAR(r.objective, -3.0, kTol);
+}
+
+TEST(MipTest, KnapsackKnownOptimum) {
+  // Classic: capacity 10; items (value, weight): (10,5) (40,4) (30,6) (50,3).
+  // Optimum: items 2 and 4 -> value 90, weight 7.
+  Model m;
+  double values[] = {10, 40, 30, 50};
+  double weights[] = {5, 4, 6, 3};
+  RowId cap = m.AddRow(-kInf, 10);
+  std::vector<VarId> x;
+  for (int i = 0; i < 4; ++i) {
+    VarId v = m.AddInteger(0, 1, -values[i]);
+    m.AddCoefficient(cap, v, weights[i]);
+    x.push_back(v);
+  }
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -90.0, kTol);
+  EXPECT_NEAR(r.x[x[1]], 1.0, kTol);
+  EXPECT_NEAR(r.x[x[3]], 1.0, kTol);
+  EXPECT_NEAR(r.x[x[0]], 0.0, kTol);
+  EXPECT_NEAR(r.x[x[2]], 0.0, kTol);
+}
+
+TEST(MipTest, AssignmentProblemIsIntegralAtRoot) {
+  // 3x3 assignment; LP relaxation of assignment is integral, so B&B should
+  // finish in one node.
+  Model m;
+  double cost[3][3] = {{4, 2, 8}, {4, 3, 7}, {3, 1, 6}};
+  VarId x[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      x[i][j] = m.AddInteger(0, 1, cost[i][j]);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    RowId r = m.AddRow(1, 1);
+    for (int j = 0; j < 3; ++j) {
+      m.AddCoefficient(r, x[i][j], 1);
+    }
+  }
+  for (int j = 0; j < 3; ++j) {
+    RowId r = m.AddRow(1, 1);
+    for (int i = 0; i < 3; ++i) {
+      m.AddCoefficient(r, x[i][j], 1);
+    }
+  }
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  // Optimal: (0,1)+(1,2)+(2,0) = 2+7+3 = 12? Alternatives: (0,0)+(1,1)+(2,2)
+  // = 4+3+6=13; (0,1)+(1,0)+(2,2)=2+4+6=12. Min is 12.
+  EXPECT_NEAR(r.objective, 12.0, kTol);
+  EXPECT_LE(r.nodes, 5);
+}
+
+TEST(MipTest, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6, x integer: no integer point.
+  Model m;
+  (void)m.AddInteger(0, 1, 1.0);
+  RowId r1 = m.AddRow(0.4, 0.6);
+  m.AddCoefficient(r1, 0, 1);
+  MipResult r = MipSolver().Solve(m);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+}
+
+TEST(MipTest, UnboundedProblem) {
+  Model m;
+  (void)m.AddInteger(0, kInf, -1.0);
+  MipResult r = MipSolver().Solve(m);
+  // A fully unbounded integer variable: the LP relaxation is unbounded.
+  EXPECT_EQ(r.status, MipStatus::kUnbounded);
+}
+
+TEST(MipTest, WarmStartSeedsIncumbent) {
+  Model m;
+  VarId x = m.AddInteger(0, 10, -1.0);
+  RowId r1 = m.AddRow(-kInf, 7.5);
+  m.AddCoefficient(r1, x, 1);
+  std::vector<double> warm = {5.0};
+  MipOptions opts;
+  opts.max_nodes = 0;  // No search at all; only the warm start survives.
+  MipResult r = MipSolver(opts).Solve(m, &warm);
+  EXPECT_EQ(r.status, MipStatus::kFeasible);
+  EXPECT_NEAR(r.objective, -5.0, kTol);
+}
+
+TEST(MipTest, InfeasibleWarmStartIgnored) {
+  Model m;
+  VarId x = m.AddInteger(0, 10, -1.0);
+  RowId r1 = m.AddRow(-kInf, 7.5);
+  m.AddCoefficient(r1, x, 1);
+  std::vector<double> warm = {9.0};  // Violates the row.
+  MipResult r = MipSolver().Solve(m, &warm);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -7.0, kTol);
+}
+
+TEST(MipTest, MixedIntegerContinuous) {
+  // min -x - 10y, x continuous in [0, 3.7], y integer, x + 2y <= 6.
+  // y = 3 -> x = 0, obj -30; y = 2 -> x = 2 -> -22. Optimal y=3? x+2y<=6 ->
+  // y=3 forces x=0 -> -30. Yes.
+  Model m;
+  VarId x = m.AddContinuous(0, 3.7, -1.0);
+  VarId y = m.AddInteger(0, kInf, -10.0);
+  RowId r1 = m.AddRow(-kInf, 6);
+  m.AddCoefficient(r1, x, 1);
+  m.AddCoefficient(r1, y, 2);
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[y], 3.0, kTol);
+  EXPECT_NEAR(r.x[x], 0.0, kTol);
+  EXPECT_NEAR(r.objective, -30.0, kTol);
+}
+
+TEST(MipTest, NodeLimitReportsFeasibleWithGap) {
+  // A knapsack big enough to need several nodes; cap nodes at 1.
+  Rng rng(99);
+  Model m;
+  RowId cap = m.AddRow(-kInf, 50);
+  for (int i = 0; i < 20; ++i) {
+    VarId v = m.AddInteger(0, 1, -rng.Uniform(1, 20));
+    m.AddCoefficient(cap, v, rng.Uniform(1, 15));
+  }
+  MipOptions opts;
+  opts.max_nodes = 1;
+  MipResult r = MipSolver(opts).Solve(m);
+  // One node: either optimal (integral root) or an early stop with a bound.
+  if (r.status == MipStatus::kFeasible) {
+    EXPECT_LE(r.best_bound, r.objective + kTol);
+  } else {
+    EXPECT_TRUE(r.status == MipStatus::kOptimal || r.status == MipStatus::kNoSolutionFound);
+  }
+}
+
+TEST(MipTest, GapIsNonNegativeAndClosesAtOptimality) {
+  Model m;
+  VarId x = m.AddInteger(0, 10, -3.0);
+  RowId r1 = m.AddRow(-kInf, 8.4);
+  m.AddCoefficient(r1, x, 1);
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.gap(), 0.0, kTol);
+}
+
+// Property sweep: random knapsacks cross-checked against brute force.
+class RandomKnapsackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomKnapsackTest, MatchesBruteForce) {
+  Rng rng(500 + GetParam());
+  int n = static_cast<int>(rng.UniformInt(4, 12));
+  std::vector<double> value(n), weight(n);
+  double capacity = 0;
+  for (int i = 0; i < n; ++i) {
+    value[i] = rng.Uniform(1, 30);
+    weight[i] = rng.Uniform(1, 10);
+    capacity += weight[i];
+  }
+  capacity *= 0.4;
+
+  Model m;
+  RowId cap = m.AddRow(-kInf, capacity);
+  for (int i = 0; i < n; ++i) {
+    VarId v = m.AddInteger(0, 1, -value[i]);
+    m.AddCoefficient(cap, v, weight[i]);
+  }
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal) << "case " << GetParam();
+
+  // Brute force over all subsets.
+  double best = 0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0, w = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[i];
+        w += weight[i];
+      }
+    }
+    if (w <= capacity + 1e-9) {
+      best = std::max(best, v);
+    }
+  }
+  EXPECT_NEAR(-r.objective, best, 1e-4) << "case " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomKnapsackTest, ::testing::Range(0, 30));
+
+// Property sweep: random bounded integer programs where a feasible integer
+// point is planted by construction; solver must find something at least as
+// good and integral.
+class RandomIntegerLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomIntegerLpTest, FindsFeasibleIntegerAtLeastAsGood) {
+  Rng rng(9000 + GetParam());
+  int n = static_cast<int>(rng.UniformInt(3, 8));
+  int rows = static_cast<int>(rng.UniformInt(2, 6));
+  Model m;
+  std::vector<double> planted(n);
+  for (int j = 0; j < n; ++j) {
+    int64_t lb = rng.UniformInt(-3, 0);
+    int64_t ub = lb + rng.UniformInt(2, 8);
+    planted[j] = static_cast<double>(rng.UniformInt(lb, ub));
+    m.AddInteger(static_cast<double>(lb), static_cast<double>(ub), rng.Uniform(-3, 3));
+  }
+  for (int i = 0; i < rows; ++i) {
+    RowId r = m.AddRow(0, 0);
+    double activity = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        double c = static_cast<double>(rng.UniformInt(-3, 3));
+        m.AddCoefficient(r, j, c);
+        activity += c * planted[j];
+      }
+    }
+    m.SetRowBounds(r, activity - rng.Uniform(0, 4), activity + rng.Uniform(0, 4));
+  }
+  MipResult r = MipSolver().Solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal) << "case " << GetParam();
+  EXPECT_TRUE(m.IsFeasible(r.x, 1e-5));
+  EXPECT_LE(r.objective, m.Objective(planted) + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomIntegerLpTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace ras

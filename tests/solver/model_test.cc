@@ -1,0 +1,83 @@
+#include "src/solver/model.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace {
+
+TEST(ModelTest, AddVariablesAndRows) {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, 1.5, "x");
+  VarId y = m.AddInteger(0, 5, -2.0, "y");
+  RowId r = m.AddRow(-kInf, 8, "cap");
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 2.0);
+
+  EXPECT_EQ(m.num_variables(), 2u);
+  EXPECT_EQ(m.num_rows(), 1u);
+  EXPECT_EQ(m.num_nonzeros(), 2u);
+  EXPECT_EQ(m.num_integer_variables(), 1u);
+  EXPECT_FALSE(m.variable(x).is_integer);
+  EXPECT_TRUE(m.variable(y).is_integer);
+  EXPECT_EQ(m.variable(y).name, "y");
+  EXPECT_EQ(m.row(r).ub, 8.0);
+}
+
+TEST(ModelTest, ZeroCoefficientsDropped) {
+  Model m;
+  VarId x = m.AddContinuous(0, 1, 0);
+  RowId r = m.AddRow(0, 1);
+  m.AddCoefficient(r, x, 0.0);
+  EXPECT_EQ(m.num_nonzeros(), 0u);
+  EXPECT_TRUE(m.row_entries(r).empty());
+}
+
+TEST(ModelTest, ObjectiveEvaluation) {
+  Model m;
+  m.AddContinuous(0, 10, 2.0);
+  m.AddContinuous(0, 10, -1.0);
+  EXPECT_DOUBLE_EQ(m.Objective({3.0, 4.0}), 2.0);
+}
+
+TEST(ModelTest, SettersUpdate) {
+  Model m;
+  VarId x = m.AddContinuous(0, 1, 1.0);
+  m.SetVariableBounds(x, -2, 3);
+  m.SetObjectiveCost(x, 7.0);
+  EXPECT_EQ(m.variable(x).lb, -2.0);
+  EXPECT_EQ(m.variable(x).ub, 3.0);
+  EXPECT_EQ(m.variable(x).cost, 7.0);
+}
+
+TEST(ModelTest, FeasibilityChecksBoundsRowsIntegrality) {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, 0);
+  VarId y = m.AddInteger(0, 10, 0);
+  RowId r = m.AddRow(2, 6);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+
+  EXPECT_TRUE(m.IsFeasible({1.0, 2.0}, 1e-6));
+  EXPECT_FALSE(m.IsFeasible({1.0, 1.5}, 1e-6));   // y fractional.
+  EXPECT_FALSE(m.IsFeasible({-1.0, 3.0}, 1e-6));  // x below lb.
+  EXPECT_FALSE(m.IsFeasible({0.0, 1.0}, 1e-6));   // Row below lb.
+  EXPECT_FALSE(m.IsFeasible({5.0, 5.0}, 1e-6));   // Row above ub.
+  EXPECT_FALSE(m.IsFeasible({1.0}, 1e-6));        // Wrong arity.
+}
+
+TEST(ModelTest, MemoryBytesGrowsWithSize) {
+  Model small;
+  small.AddContinuous(0, 1, 0);
+  Model big;
+  for (int i = 0; i < 1000; ++i) {
+    big.AddContinuous(0, 1, 0);
+  }
+  RowId r = big.AddRow(0, 1);
+  for (int i = 0; i < 1000; ++i) {
+    big.AddCoefficient(r, i, 1.0);
+  }
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes() + 1000 * sizeof(RowEntry));
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,264 @@
+#include "src/solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace ras {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SimplexTest, UnconstrainedBoxMinimum) {
+  // min 2x - 3y, x in [1,4], y in [0,5]: x=1, y=5, obj=-13.
+  Model m;
+  m.AddContinuous(1, 4, 2.0, "x");
+  m.AddContinuous(0, 5, -3.0, "y");
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 1.0, kTol);
+  EXPECT_NEAR(r.x[1], 5.0, kTol);
+  EXPECT_NEAR(r.objective, -13.0, kTol);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier-Lieberman).
+  // Optimal: x=2, y=6, obj=36. We minimize the negation.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, -3.0, "x");
+  VarId y = m.AddContinuous(0, kInf, -5.0, "y");
+  RowId r1 = m.AddRow(-kInf, 4);
+  m.AddCoefficient(r1, x, 1);
+  RowId r2 = m.AddRow(-kInf, 12);
+  m.AddCoefficient(r2, y, 2);
+  RowId r3 = m.AddRow(-kInf, 18);
+  m.AddCoefficient(r3, x, 3);
+  m.AddCoefficient(r3, y, 2);
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, kTol);
+  EXPECT_NEAR(r.x[1], 6.0, kTol);
+  EXPECT_NEAR(r.objective, -36.0, kTol);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y st x + y = 10, x in [0, 4] -> x=4, y=6 not needed: both cost 1,
+  // any split is optimal with obj 10.
+  Model m;
+  VarId x = m.AddContinuous(0, 4, 1.0);
+  VarId y = m.AddContinuous(0, kInf, 1.0);
+  RowId r1 = m.AddRow(10, 10);
+  m.AddCoefficient(r1, x, 1);
+  m.AddCoefficient(r1, y, 1);
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0] + r.x[1], 10.0, kTol);
+  EXPECT_NEAR(r.objective, 10.0, kTol);
+}
+
+TEST(SimplexTest, GreaterEqualNeedsPhase1) {
+  // min x + 2y st x + y >= 5, x - y >= -2, x,y >= 0.
+  // Optimum: y as small as possible -> y = 0? x+0>=5, x-0>=-2 -> x=5 obj 5.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, 1.0);
+  VarId y = m.AddContinuous(0, kInf, 2.0);
+  RowId r1 = m.AddRow(5, kInf);
+  m.AddCoefficient(r1, x, 1);
+  m.AddCoefficient(r1, y, 1);
+  RowId r2 = m.AddRow(-2, kInf);
+  m.AddCoefficient(r2, x, 1);
+  m.AddCoefficient(r2, y, -1);
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, kTol);
+  EXPECT_NEAR(r.x[0], 5.0, kTol);
+  EXPECT_NEAR(r.x[1], 0.0, kTol);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 2 and x >= 5 simultaneously.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, 1.0);
+  RowId r1 = m.AddRow(-kInf, 2);
+  m.AddCoefficient(r1, x, 1);
+  RowId r2 = m.AddRow(5, kInf);
+  m.AddCoefficient(r2, x, 1);
+  LpResult r = SimplexSolver().Solve(m);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, EmptyBoundRangeInfeasible) {
+  Model m;
+  (void)m.AddContinuous(0, 10, 1.0);
+  SimplexSolver solver;
+  LpResult r = solver.Solve(m, {BoundOverride{0, 5, 3}});
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // min -x with x >= 0 and no upper bound.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, -1.0);
+  RowId r1 = m.AddRow(0, kInf);  // x >= 0, redundant.
+  m.AddCoefficient(r1, x, 1);
+  LpResult r = SimplexSolver().Solve(m);
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, FreeVariable) {
+  // min (x - 3)^ via |.|-free proxy: min y st y >= x - 3, y >= 3 - x, x free.
+  // Optimal y = 0 at x = 3.
+  Model m;
+  VarId x = m.AddContinuous(-kInf, kInf, 0.0, "x");
+  VarId y = m.AddContinuous(0, kInf, 1.0, "y");
+  RowId r1 = m.AddRow(-3, kInf);  // y - x >= -3.
+  m.AddCoefficient(r1, y, 1);
+  m.AddCoefficient(r1, x, -1);
+  RowId r2 = m.AddRow(3, kInf);  // y + x >= 3.
+  m.AddCoefficient(r2, y, 1);
+  m.AddCoefficient(r2, x, 1);
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, kTol);
+  EXPECT_NEAR(r.x[0], 3.0, kTol);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x + y, x in [-5, 5], y in [-3, 3], x + y >= -6 -> x=-5, y=-1? No:
+  // x+y >= -6 binds: minimize x+y means x+y=-6, obj=-6.
+  Model m;
+  VarId x = m.AddContinuous(-5, 5, 1.0);
+  VarId y = m.AddContinuous(-3, 3, 1.0);
+  RowId r1 = m.AddRow(-6, kInf);
+  m.AddCoefficient(r1, x, 1);
+  m.AddCoefficient(r1, y, 1);
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -6.0, kTol);
+}
+
+TEST(SimplexTest, BoundOverridesRespected) {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, -1.0);
+  RowId r1 = m.AddRow(-kInf, 100);
+  m.AddCoefficient(r1, x, 1);
+  SimplexSolver solver;
+  LpResult base = solver.Solve(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  EXPECT_NEAR(base.x[0], 10.0, kTol);
+  LpResult tightened = solver.Solve(m, {BoundOverride{x, 0, 4}});
+  ASSERT_EQ(tightened.status, LpStatus::kOptimal);
+  EXPECT_NEAR(tightened.x[0], 4.0, kTol);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, -1.0);
+  VarId y = m.AddContinuous(0, kInf, -1.0);
+  for (int i = 1; i <= 8; ++i) {
+    RowId r = m.AddRow(-kInf, 4);
+    m.AddCoefficient(r, x, 1.0);
+    m.AddCoefficient(r, y, static_cast<double>(i) / 8.0 * 0 + 1.0);
+  }
+  RowId r = m.AddRow(-kInf, 3);
+  m.AddCoefficient(r, x, 1.0);
+  LpResult result = SimplexSolver().Solve(m);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -4.0, kTol);
+}
+
+TEST(SimplexTest, DualsSatisfyStrongDuality) {
+  // For the classic LP, primal obj == dual obj: y.b with correct signs.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, -3.0);
+  VarId y = m.AddContinuous(0, kInf, -5.0);
+  RowId r1 = m.AddRow(-kInf, 4);
+  m.AddCoefficient(r1, x, 1);
+  RowId r2 = m.AddRow(-kInf, 12);
+  m.AddCoefficient(r2, y, 2);
+  RowId r3 = m.AddRow(-kInf, 18);
+  m.AddCoefficient(r3, x, 3);
+  m.AddCoefficient(r3, y, 2);
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  ASSERT_EQ(r.duals.size(), 3u);
+  double dual_obj = r.duals[0] * 4 + r.duals[1] * 12 + r.duals[2] * 18;
+  EXPECT_NEAR(dual_obj, r.objective, 1e-5);
+}
+
+TEST(SimplexTest, TransportationProblem) {
+  // 2 suppliers (10, 15) -> 3 consumers (8, 7, 10), unit costs:
+  //   c = [[2, 4, 5], [3, 1, 7]]. Supply equals demand (25), so both
+  // suppliers ship everything. Optimum: s0 -> C 10 units @5 (=50),
+  // s1 -> A 8 @3 (=24), s1 -> B 7 @1 (=7), total 81.
+  Model m;
+  double cost[2][3] = {{2, 4, 5}, {3, 1, 7}};
+  double supply[2] = {10, 15};
+  double demand[3] = {8, 7, 10};
+  VarId x[2][3];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      x[i][j] = m.AddContinuous(0, kInf, cost[i][j]);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    RowId r = m.AddRow(-kInf, supply[i]);
+    for (int j = 0; j < 3; ++j) {
+      m.AddCoefficient(r, x[i][j], 1);
+    }
+  }
+  for (int j = 0; j < 3; ++j) {
+    RowId r = m.AddRow(demand[j], kInf);
+    for (int i = 0; i < 2; ++i) {
+      m.AddCoefficient(r, x[i][j], 1);
+    }
+  }
+  LpResult r = SimplexSolver().Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 81.0, kTol);
+}
+
+// Property sweep: random feasible-by-construction LPs; the simplex solution
+// must be feasible and no worse than the construction point.
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, FeasibleAndBeatsReferencePoint) {
+  Rng rng(1000 + GetParam());
+  int n = static_cast<int>(rng.UniformInt(3, 12));
+  int rows = static_cast<int>(rng.UniformInt(2, 10));
+  Model m;
+  std::vector<double> ref(n);
+  for (int j = 0; j < n; ++j) {
+    double lb = rng.Uniform(-5, 0);
+    double ub = lb + rng.Uniform(1, 10);
+    ref[j] = rng.Uniform(lb, ub);
+    m.AddContinuous(lb, ub, rng.Uniform(-3, 3));
+  }
+  for (int i = 0; i < rows; ++i) {
+    RowId r = m.AddRow(0, 0);  // Placeholder bounds set below.
+    double activity = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.6)) {
+        double c = rng.Uniform(-2, 2);
+        m.AddCoefficient(r, j, c);
+        activity += c * ref[j];
+      }
+    }
+    // Bounds that include the reference point's activity.
+    double slack_lo = rng.Uniform(0.1, 5);
+    double slack_hi = rng.Uniform(0.1, 5);
+    m.SetRowBounds(r, activity - slack_lo, activity + slack_hi);
+  }
+  LpResult result = SimplexSolver().Solve(m);
+  ASSERT_EQ(result.status, LpStatus::kOptimal) << "case " << GetParam();
+  EXPECT_TRUE(m.IsFeasible(result.x, 1e-5));
+  EXPECT_LE(result.objective, m.Objective(ref) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLpTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,135 @@
+// Tests for SimplexSolver::ResolveWithBasis — the cross-node basis reuse
+// that makes branch-and-bound children cheap.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/solver/simplex.h"
+#include "src/util/rng.h"
+
+namespace ras {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Random feasible-by-construction LP shared by the tests below.
+Model RandomLp(uint64_t seed, int n, int rows, std::vector<double>* ref_out) {
+  Rng rng(seed);
+  Model m;
+  std::vector<double> ref(n);
+  for (int j = 0; j < n; ++j) {
+    double lb = rng.Uniform(-4, 0);
+    double ub = lb + rng.Uniform(2, 9);
+    ref[j] = rng.Uniform(lb, ub);
+    m.AddContinuous(lb, ub, rng.Uniform(-3, 3));
+  }
+  for (int i = 0; i < rows; ++i) {
+    RowId r = m.AddRow(0, 0);
+    double activity = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        double c = rng.Uniform(-2, 2);
+        m.AddCoefficient(r, j, c);
+        activity += c * ref[j];
+      }
+    }
+    m.SetRowBounds(r, activity - rng.Uniform(0.5, 4), activity + rng.Uniform(0.5, 4));
+  }
+  if (ref_out != nullptr) {
+    *ref_out = ref;
+  }
+  return m;
+}
+
+TEST(WarmResolveTest, MatchesColdSolveAfterBoundChange) {
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> ref;
+    Model m = RandomLp(7000 + static_cast<uint64_t>(trial), 10, 7, &ref);
+    SimplexSolver warm_solver;
+    LpResult base = warm_solver.Solve(m);
+    ASSERT_EQ(base.status, LpStatus::kOptimal);
+
+    // Tighten one variable's bounds around the reference point (guaranteed
+    // to stay feasible) and compare warm vs cold resolves.
+    Rng rng(7100 + static_cast<uint64_t>(trial));
+    VarId var = static_cast<VarId>(rng.UniformInt(0, 9));
+    double lo = std::max(ref[var] - 0.25, m.variable(var).lb);
+    double hi = std::min(ref[var] + 0.25, m.variable(var).ub);
+    std::vector<BoundOverride> overrides = {BoundOverride{var, lo, hi}};
+
+    LpResult warm = warm_solver.ResolveWithBasis(m, overrides);
+    SimplexSolver cold_solver;
+    LpResult cold = cold_solver.Solve(m, overrides);
+    ASSERT_EQ(warm.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_EQ(cold.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-5) << "trial " << trial;
+    EXPECT_TRUE(m.IsFeasible(warm.x, 1e-5));
+  }
+}
+
+TEST(WarmResolveTest, WarmIsCheaperThanCold) {
+  std::vector<double> ref;
+  Model m = RandomLp(8001, 40, 25, &ref);
+  SimplexSolver solver;
+  LpResult base = solver.Solve(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  LpResult warm = solver.ResolveWithBasis(m, {BoundOverride{0, ref[0] - 0.1, ref[0] + 0.1}});
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  // The warm resolve should take far fewer pivots than the cold solve.
+  EXPECT_LT(warm.iterations, std::max<int64_t>(base.iterations / 2, 6));
+}
+
+TEST(WarmResolveTest, DetectsInfeasibleBoundsAndRecovers) {
+  std::vector<double> ref;
+  Model m = RandomLp(8002, 8, 5, &ref);
+  SimplexSolver solver;
+  ASSERT_EQ(solver.Solve(m).status, LpStatus::kOptimal);
+  // Empty range: infeasible, without destroying the retained basis.
+  LpResult bad = solver.ResolveWithBasis(m, {BoundOverride{0, 1.0, 0.5}});
+  EXPECT_EQ(bad.status, LpStatus::kInfeasible);
+  // The solver still warm-resolves correctly afterwards.
+  LpResult good = solver.ResolveWithBasis(m, {});
+  ASSERT_EQ(good.status, LpStatus::kOptimal);
+  SimplexSolver cold;
+  EXPECT_NEAR(good.objective, cold.Solve(m).objective, 1e-5);
+}
+
+TEST(WarmResolveTest, FallsBackToColdForDifferentModel) {
+  std::vector<double> ref;
+  Model a = RandomLp(8003, 6, 4, &ref);
+  Model b = RandomLp(8004, 9, 5, &ref);
+  SimplexSolver solver;
+  ASSERT_EQ(solver.Solve(a).status, LpStatus::kOptimal);
+  // Different shape: must not reuse the basis; result must match cold.
+  LpResult warm_b = solver.ResolveWithBasis(b, {});
+  SimplexSolver cold;
+  LpResult cold_b = cold.Solve(b);
+  ASSERT_EQ(warm_b.status, cold_b.status);
+  if (warm_b.status == LpStatus::kOptimal) {
+    EXPECT_NEAR(warm_b.objective, cold_b.objective, 1e-5);
+  }
+}
+
+TEST(WarmResolveTest, ChainOfResolves) {
+  // Simulates a B&B dive: a chain of progressively tighter integer bounds.
+  std::vector<double> ref;
+  Model m = RandomLp(8005, 12, 8, &ref);
+  SimplexSolver warm_solver;
+  ASSERT_EQ(warm_solver.Solve(m).status, LpStatus::kOptimal);
+  std::vector<BoundOverride> overrides;
+  for (int step = 0; step < 6; ++step) {
+    VarId var = static_cast<VarId>(step * 2 % 12);
+    overrides.push_back(BoundOverride{var, ref[var] - 0.5, ref[var] + 0.5});
+    LpResult warm = warm_solver.ResolveWithBasis(m, overrides);
+    SimplexSolver cold;
+    LpResult reference = cold.Solve(m, overrides);
+    ASSERT_EQ(warm.status, reference.status) << "step " << step;
+    if (warm.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, reference.objective, 1e-5) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,76 @@
+#include "src/topology/hardware.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ras {
+namespace {
+
+TEST(HardwareCatalogTest, AddAndLookup) {
+  HardwareCatalog catalog;
+  HardwareType t;
+  t.name = "X1";
+  t.compute_units = 2.0;
+  auto id = catalog.Add(t);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.type(*id).name, "X1");
+  EXPECT_EQ(catalog.FindByName("X1"), *id);
+  EXPECT_EQ(catalog.FindByName("nope"), kInvalidHardwareType);
+}
+
+TEST(HardwareCatalogTest, RejectsDuplicateNames) {
+  HardwareCatalog catalog;
+  HardwareType t;
+  t.name = "X1";
+  ASSERT_TRUE(catalog.Add(t).ok());
+  auto dup = catalog.Add(t);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PaperCatalogTest, MatchesPaperShape) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  // Figure 2: nine hardware categories, twelve subtypes total.
+  std::set<uint16_t> categories;
+  for (const HardwareType& t : catalog.types()) {
+    categories.insert(t.category);
+  }
+  EXPECT_EQ(categories.size(), 8u);  // C1..C8 modeled (C9 of the figure folded into C8).
+  EXPECT_EQ(catalog.size(), 12u);    // Twelve SKUs, as in the figure.
+}
+
+TEST(PaperCatalogTest, GenerationsSpanThree) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  std::set<int> gens;
+  for (const HardwareType& t : catalog.types()) {
+    gens.insert(t.cpu_generation);
+  }
+  EXPECT_EQ(gens, (std::set<int>{1, 2, 3}));
+}
+
+TEST(PaperCatalogTest, NewerGenerationsFaster) {
+  // Figure 3's premise: within the web-tier line, Gen III > Gen II > Gen I.
+  HardwareCatalog catalog = MakePaperCatalog();
+  double gen1 = catalog.type(catalog.FindByName("C1")).compute_units;
+  double gen2 = catalog.type(catalog.FindByName("C2-S1")).compute_units;
+  double gen3 = catalog.type(catalog.FindByName("C3")).compute_units;
+  EXPECT_LT(gen1, gen2);
+  EXPECT_LT(gen2, gen3);
+}
+
+TEST(PaperCatalogTest, HasGpuAndStorageSkus) {
+  HardwareCatalog catalog = MakePaperCatalog();
+  bool any_gpu = false;
+  bool any_flash = false;
+  for (const HardwareType& t : catalog.types()) {
+    any_gpu |= t.has_gpu;
+    any_flash |= t.flash_tb > 8;
+  }
+  EXPECT_TRUE(any_gpu);
+  EXPECT_TRUE(any_flash);
+}
+
+}  // namespace
+}  // namespace ras

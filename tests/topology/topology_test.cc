@@ -1,0 +1,100 @@
+#include "src/topology/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace {
+
+RegionTopology MakeSmallRegion() {
+  // 2 DCs x 2 MSBs x 2 racks x 3 servers = 24 servers.
+  RegionTopology topo;
+  for (int d = 0; d < 2; ++d) {
+    DatacenterId dc = topo.AddDatacenter();
+    for (int m = 0; m < 2; ++m) {
+      MsbId msb = *topo.AddMsb(dc);
+      for (int r = 0; r < 2; ++r) {
+        RackId rack = *topo.AddRack(msb);
+        for (int s = 0; s < 3; ++s) {
+          (void)*topo.AddServer(rack, static_cast<HardwareTypeId>(s % 2));
+        }
+      }
+    }
+  }
+  topo.Finalize();
+  return topo;
+}
+
+TEST(TopologyTest, Counts) {
+  RegionTopology topo = MakeSmallRegion();
+  EXPECT_EQ(topo.num_datacenters(), 2u);
+  EXPECT_EQ(topo.num_msbs(), 4u);
+  EXPECT_EQ(topo.num_racks(), 8u);
+  EXPECT_EQ(topo.num_servers(), 24u);
+}
+
+TEST(TopologyTest, ServerPlacementChain) {
+  RegionTopology topo = MakeSmallRegion();
+  for (const Server& s : topo.servers()) {
+    EXPECT_EQ(s.msb, topo.rack_msb(s.rack));
+    EXPECT_EQ(s.dc, topo.msb_datacenter(s.msb));
+    EXPECT_EQ(s.dc, topo.rack_datacenter(s.rack));
+  }
+}
+
+TEST(TopologyTest, InvalidParentsRejected) {
+  RegionTopology topo;
+  EXPECT_FALSE(topo.AddMsb(3).ok());
+  DatacenterId dc = topo.AddDatacenter();
+  (void)dc;
+  EXPECT_FALSE(topo.AddRack(9).ok());
+  EXPECT_FALSE(topo.AddServer(5, 0).ok());
+}
+
+TEST(TopologyTest, GroupOfMatchesScope) {
+  RegionTopology topo = MakeSmallRegion();
+  const Server& s = topo.server(13);
+  EXPECT_EQ(topo.GroupOf(Scope::kRack, s.id), s.rack);
+  EXPECT_EQ(topo.GroupOf(Scope::kMsb, s.id), s.msb);
+  EXPECT_EQ(topo.GroupOf(Scope::kDatacenter, s.id), s.dc);
+}
+
+TEST(TopologyTest, GroupCounts) {
+  RegionTopology topo = MakeSmallRegion();
+  EXPECT_EQ(topo.GroupCount(Scope::kRack), 8u);
+  EXPECT_EQ(topo.GroupCount(Scope::kMsb), 4u);
+  EXPECT_EQ(topo.GroupCount(Scope::kDatacenter), 2u);
+}
+
+TEST(TopologyTest, MembershipIndexesCoverEveryServerOnce) {
+  RegionTopology topo = MakeSmallRegion();
+  size_t total = 0;
+  for (MsbId m = 0; m < topo.num_msbs(); ++m) {
+    for (ServerId id : topo.ServersInMsb(m)) {
+      EXPECT_EQ(topo.server(id).msb, m);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, topo.num_servers());
+
+  total = 0;
+  for (RackId r = 0; r < topo.num_racks(); ++r) {
+    total += topo.ServersInRack(r).size();
+  }
+  EXPECT_EQ(total, topo.num_servers());
+
+  total = 0;
+  for (DatacenterId d = 0; d < topo.num_datacenters(); ++d) {
+    total += topo.ServersInDatacenter(d).size();
+  }
+  EXPECT_EQ(total, topo.num_servers());
+}
+
+TEST(TopologyTest, FinalizedFlag) {
+  RegionTopology topo;
+  EXPECT_FALSE(topo.finalized());
+  topo.Finalize();
+  EXPECT_TRUE(topo.finalized());
+}
+
+}  // namespace
+}  // namespace ras

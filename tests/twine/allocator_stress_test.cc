@@ -1,0 +1,123 @@
+// Property/stress test for the Twine allocator: long random operation
+// sequences must preserve every structural invariant.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/fleet/fleet_gen.h"
+#include "src/twine/allocator.h"
+#include "src/util/rng.h"
+
+namespace ras {
+namespace {
+
+class AllocatorStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorStressTest, RandomOperationSequence) {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 2;
+  opts.racks_per_msb = 4;
+  opts.servers_per_rack = 6;
+  opts.seed = 100 + static_cast<uint64_t>(GetParam());
+  Fleet fleet = GenerateFleet(opts);
+  ResourceBroker broker(&fleet.topology);
+  TwineAllocator twine(&fleet.catalog, &broker);
+  Rng rng(2000 + static_cast<uint64_t>(GetParam()));
+
+  // Two reservations over a moving set of servers.
+  const ReservationId kResA = 1, kResB = 2;
+  for (ServerId id = 0; id < 40; ++id) {
+    broker.SetCurrent(id, id < 24 ? kResA : kResB);
+  }
+
+  std::vector<JobId> jobs;
+  std::map<JobId, int> requested;
+  for (int op = 0; op < 300; ++op) {
+    int action = static_cast<int>(rng.UniformInt(0, 5));
+    switch (action) {
+      case 0: {  // Submit.
+        JobSpec spec;
+        spec.name = "job";
+        spec.reservation = rng.Bernoulli(0.5) ? kResA : kResB;
+        spec.container =
+            ContainerSpec{rng.Uniform(1, 12), rng.Uniform(2, 24)};
+        spec.replicas = static_cast<int>(rng.UniformInt(1, 12));
+        auto id = twine.SubmitJob(spec);
+        ASSERT_TRUE(id.ok());
+        jobs.push_back(*id);
+        requested[*id] = spec.replicas;
+        break;
+      }
+      case 1: {  // Stop.
+        if (!jobs.empty()) {
+          size_t which = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(jobs.size()) - 1));
+          (void)twine.StopJob(jobs[which]);
+          requested.erase(jobs[which]);
+          jobs.erase(jobs.begin() + static_cast<long>(which));
+        }
+        break;
+      }
+      case 2: {  // Resize.
+        if (!jobs.empty()) {
+          size_t which = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(jobs.size()) - 1));
+          int replicas = static_cast<int>(rng.UniformInt(0, 15));
+          ASSERT_TRUE(twine.ResizeJob(jobs[which], replicas).ok());
+          requested[jobs[which]] = replicas;
+        }
+        break;
+      }
+      case 3: {  // Evict a random server.
+        ServerId victim = static_cast<ServerId>(rng.UniformInt(0, 39));
+        twine.EvictServer(victim);
+        EXPECT_EQ(twine.containers_on(victim), 0u);
+        break;
+      }
+      case 4: {  // Move a server between reservations (with eviction).
+        ServerId victim = static_cast<ServerId>(rng.UniformInt(0, 39));
+        twine.EvictServer(victim);
+        broker.SetCurrent(victim,
+                          broker.record(victim).current == kResA ? kResB : kResA);
+        break;
+      }
+      case 5: {  // Retry pending.
+        twine.RetryPending();
+        break;
+      }
+    }
+
+    // --- Invariants after every operation ---
+    // Replica accounting: running + pending == requested.
+    for (JobId id : jobs) {
+      ASSERT_NE(twine.job(id), nullptr);
+      EXPECT_EQ(twine.running_containers(id) +
+                    static_cast<size_t>(twine.pending_containers(id)),
+                static_cast<size_t>(requested[id]))
+          << "job " << id << " op " << op;
+      EXPECT_GE(twine.pending_containers(id), 0);
+    }
+    // has_containers mirrors per-server container counts.
+    for (ServerId id = 0; id < broker.num_servers(); ++id) {
+      EXPECT_EQ(broker.record(id).has_containers, twine.containers_on(id) > 0);
+    }
+  }
+
+  // Total containers on servers equals total running replicas.
+  size_t on_servers = 0;
+  for (ServerId id = 0; id < broker.num_servers(); ++id) {
+    on_servers += twine.containers_on(id);
+  }
+  size_t running = 0;
+  for (JobId id : jobs) {
+    running += twine.running_containers(id);
+  }
+  EXPECT_EQ(on_servers, running);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllocatorStressTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,206 @@
+#include "src/twine/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+class TwineAllocatorTest : public ::testing::Test {
+ protected:
+  TwineAllocatorTest()
+      : fleet_(GenerateFleet(Options())),
+        broker_(&fleet_.topology),
+        twine_(&fleet_.catalog, &broker_) {
+    // Bind the first 30 servers to reservation 1.
+    for (ServerId id = 0; id < 30; ++id) {
+      broker_.SetCurrent(id, 1);
+    }
+  }
+
+  static FleetOptions Options() {
+    FleetOptions opts;
+    opts.num_datacenters = 2;
+    opts.msbs_per_datacenter = 2;
+    opts.racks_per_msb = 4;
+    opts.servers_per_rack = 6;
+    return opts;  // 96 servers.
+  }
+
+  JobSpec SmallJob(int replicas) {
+    JobSpec spec;
+    spec.name = "job";
+    spec.reservation = 1;
+    spec.container = ContainerSpec{2.0, 4.0};
+    spec.replicas = replicas;
+    return spec;
+  }
+
+  Fleet fleet_;
+  ResourceBroker broker_;
+  TwineAllocator twine_;
+};
+
+TEST_F(TwineAllocatorTest, PlacesReplicasInReservation) {
+  auto job = twine_.SubmitJob(SmallJob(10));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(twine_.running_containers(*job), 10u);
+  EXPECT_EQ(twine_.pending_containers(*job), 0);
+  // Containers only on reservation-1 servers.
+  for (ServerId id = 0; id < broker_.num_servers(); ++id) {
+    if (twine_.containers_on(id) > 0) {
+      EXPECT_EQ(broker_.record(id).current, 1u);
+      EXPECT_TRUE(broker_.record(id).has_containers);
+    }
+  }
+}
+
+TEST_F(TwineAllocatorTest, RejectsInvalidSpecs) {
+  JobSpec bad = SmallJob(1);
+  bad.container.cpu = -1;
+  EXPECT_FALSE(twine_.SubmitJob(bad).ok());
+  bad = SmallJob(-2);
+  EXPECT_FALSE(twine_.SubmitJob(bad).ok());
+  bad = SmallJob(1);
+  bad.reservation = kUnassigned;
+  EXPECT_FALSE(twine_.SubmitJob(bad).ok());
+}
+
+TEST_F(TwineAllocatorTest, OverflowBecomesPending) {
+  // Demand far beyond 30 servers' capacity.
+  JobSpec big = SmallJob(5000);
+  auto job = twine_.SubmitJob(big);
+  ASSERT_TRUE(job.ok());
+  EXPECT_GT(twine_.running_containers(*job), 0u);
+  EXPECT_GT(twine_.pending_containers(*job), 0);
+  EXPECT_EQ(twine_.total_pending(), static_cast<size_t>(twine_.pending_containers(*job)));
+}
+
+TEST_F(TwineAllocatorTest, PendingPlacedWhenCapacityArrives) {
+  auto job = twine_.SubmitJob(SmallJob(5000));
+  ASSERT_TRUE(job.ok());
+  int pending_before = twine_.pending_containers(*job);
+  ASSERT_GT(pending_before, 0);
+  // Grow the reservation.
+  for (ServerId id = 30; id < 60; ++id) {
+    broker_.SetCurrent(id, 1);
+  }
+  size_t placed = twine_.RetryPending();
+  EXPECT_GT(placed, 0u);
+  EXPECT_LT(twine_.pending_containers(*job), pending_before);
+}
+
+TEST_F(TwineAllocatorTest, StackingMultipleJobsOnOneServer) {
+  // Tiny containers: many fit per server; two jobs can share servers.
+  JobSpec a = SmallJob(3);
+  a.container = ContainerSpec{1.0, 1.0};
+  JobSpec b = SmallJob(3);
+  b.container = ContainerSpec{1.0, 1.0};
+  auto ja = twine_.SubmitJob(a);
+  auto jb = twine_.SubmitJob(b);
+  ASSERT_TRUE(ja.ok() && jb.ok());
+  // Best-fit packing should co-locate at least one pair.
+  bool any_stacked = false;
+  for (ServerId id = 0; id < 30; ++id) {
+    if (twine_.containers_on(id) >= 2) {
+      any_stacked = true;
+    }
+  }
+  EXPECT_TRUE(any_stacked);
+}
+
+TEST_F(TwineAllocatorTest, SpreadAcrossMsbs) {
+  // 30 servers span 2+ MSBs in this fleet; replicas should spread.
+  auto job = twine_.SubmitJob(SmallJob(8));
+  ASSERT_TRUE(job.ok());
+  auto per_msb = twine_.ReplicasPerMsb(*job);
+  int msbs_used = 0;
+  for (size_t c : per_msb) {
+    msbs_used += c > 0 ? 1 : 0;
+  }
+  EXPECT_GE(msbs_used, 2);
+}
+
+TEST_F(TwineAllocatorTest, EvictServerDisplacesAndReplaces) {
+  auto job = twine_.SubmitJob(SmallJob(5));
+  ASSERT_TRUE(job.ok());
+  ServerId victim = kInvalidServer;
+  for (ServerId id = 0; id < 30; ++id) {
+    if (twine_.containers_on(id) > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidServer);
+  size_t displaced = twine_.EvictServer(victim);
+  EXPECT_GT(displaced, 0u);
+  EXPECT_EQ(twine_.containers_on(victim), 0u);
+  EXPECT_FALSE(broker_.record(victim).has_containers);
+  // Replicas re-placed (plenty of room elsewhere).
+  EXPECT_EQ(twine_.running_containers(*job), 5u);
+}
+
+TEST_F(TwineAllocatorTest, UnavailableServersNotUsed) {
+  for (ServerId id = 0; id < 30; ++id) {
+    if (id % 2 == 0) {
+      broker_.SetUnavailability(id, Unavailability::kUnplannedHardware);
+    }
+  }
+  auto job = twine_.SubmitJob(SmallJob(10));
+  ASSERT_TRUE(job.ok());
+  for (ServerId id = 0; id < 30; id += 2) {
+    EXPECT_EQ(twine_.containers_on(id), 0u);
+  }
+}
+
+TEST_F(TwineAllocatorTest, MaintenanceServersGetNoNewPlacements) {
+  // The solver treats planned maintenance as usable capacity; the real-time
+  // allocator must still avoid landing fresh containers there.
+  for (ServerId id = 0; id < 30; ++id) {
+    if (id % 3 == 0) {
+      broker_.SetUnavailability(id, Unavailability::kPlannedMaintenance);
+    }
+  }
+  auto job = twine_.SubmitJob(SmallJob(10));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(twine_.running_containers(*job), 10u);  // Healthy servers suffice.
+  for (ServerId id = 0; id < 30; id += 3) {
+    EXPECT_EQ(twine_.containers_on(id), 0u);
+  }
+}
+
+TEST_F(TwineAllocatorTest, StopJobReleasesEverything) {
+  auto job = twine_.SubmitJob(SmallJob(6));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(twine_.StopJob(*job).ok());
+  EXPECT_EQ(twine_.job(*job), nullptr);
+  for (ServerId id = 0; id < 30; ++id) {
+    EXPECT_EQ(twine_.containers_on(id), 0u);
+    EXPECT_FALSE(broker_.record(id).has_containers);
+  }
+  EXPECT_FALSE(twine_.StopJob(*job).ok());  // Already gone.
+}
+
+TEST_F(TwineAllocatorTest, ResizeUpAndDown) {
+  auto job = twine_.SubmitJob(SmallJob(4));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(twine_.ResizeJob(*job, 9).ok());
+  EXPECT_EQ(twine_.running_containers(*job), 9u);
+  ASSERT_TRUE(twine_.ResizeJob(*job, 2).ok());
+  EXPECT_EQ(twine_.running_containers(*job), 2u);
+  EXPECT_EQ(twine_.pending_containers(*job), 0);
+  EXPECT_FALSE(twine_.ResizeJob(*job, -1).ok());
+  EXPECT_FALSE(twine_.ResizeJob(999, 5).ok());
+}
+
+TEST_F(TwineAllocatorTest, CapacityOfScalesWithComputeUnits) {
+  const HardwareCatalog& catalog = fleet_.catalog;
+  ServerResources gen1 = CapacityOf(catalog.type(catalog.FindByName("C1")));
+  ServerResources gen3 = CapacityOf(catalog.type(catalog.FindByName("C3")));
+  EXPECT_GT(gen3.cpu, gen1.cpu);
+  EXPECT_DOUBLE_EQ(gen1.cpu, 1.0 * kCoresPerComputeUnit);
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,105 @@
+#include "src/twine/greedy_assigner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+FleetOptions Options() {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 3;
+  opts.racks_per_msb = 5;
+  opts.servers_per_rack = 8;
+  return opts;  // 240 servers.
+}
+
+TEST(GreedyAssignerTest, GrowAcquiresRequestedCount) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  GreedyAssigner greedy(&fleet.catalog, &broker);
+  size_t got = greedy.Grow(5, {}, 40);
+  EXPECT_EQ(got, 40u);
+  EXPECT_EQ(broker.CountInReservation(5), 40u);
+  // Both current and target are set (greedy has no separate solve).
+  for (ServerId id : broker.ServersInReservation(5)) {
+    EXPECT_EQ(broker.record(id).target, 5u);
+  }
+}
+
+TEST(GreedyAssignerTest, ConcentratesInOldestMsbs) {
+  // The pre-RAS pathology (Figure 12's 15% starting point): greedy fills
+  // deployment order, so small grows land entirely in MSB 0.
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  GreedyAssigner greedy(&fleet.catalog, &broker);
+  greedy.Grow(7, {}, 30);
+  std::map<MsbId, size_t> per_msb;
+  for (ServerId id : broker.ServersInReservation(7)) {
+    per_msb[fleet.topology.server(id).msb]++;
+  }
+  // All 30 in the first MSB (it has 40 servers).
+  EXPECT_EQ(per_msb.size(), 1u);
+  EXPECT_EQ(per_msb.begin()->first, 0u);
+}
+
+TEST(GreedyAssignerTest, HonorsHardwareFilter) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  GreedyAssigner greedy(&fleet.catalog, &broker);
+  HardwareTypeId c1 = fleet.catalog.FindByName("C1");
+  size_t got = greedy.Grow(3, {c1}, 1000);
+  for (ServerId id : broker.ServersInReservation(3)) {
+    EXPECT_EQ(fleet.topology.server(id).type, c1);
+  }
+  // Can't acquire more C1s than exist.
+  size_t c1_total = 0;
+  for (const Server& s : fleet.topology.servers()) {
+    c1_total += s.type == c1 ? 1 : 0;
+  }
+  EXPECT_EQ(got, c1_total);
+}
+
+TEST(GreedyAssignerTest, SkipsFailedServers) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  for (ServerId id = 0; id < 20; ++id) {
+    broker.SetUnavailability(id, Unavailability::kUnplannedHardware);
+  }
+  GreedyAssigner greedy(&fleet.catalog, &broker);
+  greedy.Grow(5, {}, 10);
+  for (ServerId id : broker.ServersInReservation(5)) {
+    EXPECT_GE(id, 20u);
+  }
+}
+
+TEST(GreedyAssignerTest, ShrinkReleasesIdleOnly) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  GreedyAssigner greedy(&fleet.catalog, &broker);
+  greedy.Grow(5, {}, 10);
+  // Mark 4 as running containers.
+  auto members = broker.ServersInReservation(5);
+  for (size_t i = 0; i < 4; ++i) {
+    broker.SetHasContainers(members[i], true);
+  }
+  size_t released = greedy.Shrink(5, 100);
+  EXPECT_EQ(released, 6u);
+  EXPECT_EQ(broker.CountInReservation(5), 4u);
+}
+
+TEST(GreedyAssignerTest, GrowWithExhaustedPool) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  GreedyAssigner greedy(&fleet.catalog, &broker);
+  size_t got = greedy.Grow(1, {}, 100000);
+  EXPECT_EQ(got, fleet.topology.num_servers());
+  EXPECT_EQ(greedy.Grow(2, {}, 1), 0u);
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,37 @@
+#include "src/util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace {
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t{100};
+  EXPECT_EQ((t + Seconds(5)).seconds, 105);
+  EXPECT_EQ((t - Seconds(5)).seconds, 95);
+  EXPECT_EQ((SimTime{200} - SimTime{50}).seconds, 150);
+}
+
+TEST(SimTimeTest, DurationHelpers) {
+  EXPECT_EQ(Minutes(2).seconds, 120);
+  EXPECT_EQ(Hours(1).seconds, 3600);
+  EXPECT_EQ(Days(1).seconds, 86400);
+  EXPECT_EQ(Weeks(1).seconds, 604800);
+  EXPECT_EQ((Hours(1) + Minutes(30)).seconds, 5400);
+  EXPECT_EQ((Hours(2) * 3).seconds, 6 * 3600);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime{5}, SimTime{6});
+  EXPECT_EQ(SimTime{5}, SimTime{5});
+  EXPECT_GT(SimDuration{10}, SimDuration{9});
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(FormatSimTime(SimTime{0}), "0d 00:00:00");
+  EXPECT_EQ(FormatSimTime(SimTime{3 * 86400 + 4 * 3600 + 5 * 60 + 6}), "3d 04:05:06");
+  EXPECT_EQ(FormatSimTime(SimTime{-61}), "-0d 00:01:01");
+}
+
+}  // namespace
+}  // namespace ras

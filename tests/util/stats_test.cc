@@ -1,0 +1,98 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleSample) {
+  OnlineStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.min(), 4.5);
+  EXPECT_EQ(s.max(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // Classic population-variance example.
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(PercentileTest, Empty) { EXPECT_EQ(Percentile({}, 50), 0.0); }
+
+TEST(PercentileTest, Median) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  // p95 of [0..99]: rank 94.05 -> 94.05.
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_NEAR(Percentile(v, 95), 94.05, 1e-9);
+}
+
+TEST(VarianceTest, MatchesOnline) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+}
+
+TEST(VarianceTest, DegenerateInputs) {
+  EXPECT_EQ(Variance({}), 0.0);
+  EXPECT_EQ(Variance({3.0}), 0.0);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.Add(0.5);   // Bucket 0.
+  h.Add(9.5);   // Bucket 4.
+  h.Add(-3);    // Clamps to bucket 0.
+  h.Add(42);    // Clamps to bucket 4.
+  h.Add(5.0);   // Bucket 2 (boundary goes up).
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(2), 6.0);
+}
+
+TEST(HistogramTest, ToStringContainsBars) {
+  Histogram h(0, 4, 2);
+  h.Add(1);
+  h.Add(1);
+  h.Add(3);
+  std::string s = h.ToString(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);  // Peak bucket full bar.
+  EXPECT_NE(s.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ras
