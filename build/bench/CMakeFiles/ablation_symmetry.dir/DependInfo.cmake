@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_symmetry.cpp" "bench/CMakeFiles/ablation_symmetry.dir/ablation_symmetry.cpp.o" "gcc" "bench/CMakeFiles/ablation_symmetry.dir/ablation_symmetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ras_bench_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ras_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ras_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/twine/CMakeFiles/ras_twine.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/ras_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/ras_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ras_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ras_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_heterogeneity.dir/fig02_heterogeneity.cpp.o"
+  "CMakeFiles/fig02_heterogeneity.dir/fig02_heterogeneity.cpp.o.d"
+  "fig02_heterogeneity"
+  "fig02_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

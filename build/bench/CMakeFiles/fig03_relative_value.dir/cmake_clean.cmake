@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_relative_value.dir/fig03_relative_value.cpp.o"
+  "CMakeFiles/fig03_relative_value.dir/fig03_relative_value.cpp.o.d"
+  "fig03_relative_value"
+  "fig03_relative_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_relative_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_relative_value.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_capacity_requests.dir/fig04_capacity_requests.cpp.o"
+  "CMakeFiles/fig04_capacity_requests.dir/fig04_capacity_requests.cpp.o.d"
+  "fig04_capacity_requests"
+  "fig04_capacity_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_capacity_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

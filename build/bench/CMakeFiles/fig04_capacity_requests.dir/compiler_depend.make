@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_capacity_requests.
+# This may be replaced when dependencies are built.

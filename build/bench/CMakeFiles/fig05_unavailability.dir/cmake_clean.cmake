@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_unavailability.dir/fig05_unavailability.cpp.o"
+  "CMakeFiles/fig05_unavailability.dir/fig05_unavailability.cpp.o.d"
+  "fig05_unavailability"
+  "fig05_unavailability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_unavailability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_alloc_time.cpp" "bench/CMakeFiles/fig07_alloc_time.dir/fig07_alloc_time.cpp.o" "gcc" "bench/CMakeFiles/fig07_alloc_time.dir/fig07_alloc_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ras_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/ras_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ras_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/twine/CMakeFiles/ras_twine.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/ras_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ras_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ras_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

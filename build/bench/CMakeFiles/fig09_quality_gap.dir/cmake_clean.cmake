@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_quality_gap.dir/fig09_quality_gap.cpp.o"
+  "CMakeFiles/fig09_quality_gap.dir/fig09_quality_gap.cpp.o.d"
+  "fig09_quality_gap"
+  "fig09_quality_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_quality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

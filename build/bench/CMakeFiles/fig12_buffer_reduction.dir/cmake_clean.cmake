@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_buffer_reduction.dir/fig12_buffer_reduction.cpp.o"
+  "CMakeFiles/fig12_buffer_reduction.dir/fig12_buffer_reduction.cpp.o.d"
+  "fig12_buffer_reduction"
+  "fig12_buffer_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_buffer_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

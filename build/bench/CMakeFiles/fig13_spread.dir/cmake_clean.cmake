@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_spread.dir/fig13_spread.cpp.o"
+  "CMakeFiles/fig13_spread.dir/fig13_spread.cpp.o.d"
+  "fig13_spread"
+  "fig13_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_power.dir/fig14_power.cpp.o"
+  "CMakeFiles/fig14_power.dir/fig14_power.cpp.o.d"
+  "fig14_power"
+  "fig14_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_network.dir/fig15_network.cpp.o"
+  "CMakeFiles/fig15_network.dir/fig15_network.cpp.o.d"
+  "fig15_network"
+  "fig15_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

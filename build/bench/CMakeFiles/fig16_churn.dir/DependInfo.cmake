@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_churn.cpp" "bench/CMakeFiles/fig16_churn.dir/fig16_churn.cpp.o" "gcc" "bench/CMakeFiles/fig16_churn.dir/fig16_churn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ras_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ras_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/twine/CMakeFiles/ras_twine.dir/DependInfo.cmake"
+  "/root/repo/build/src/health/CMakeFiles/ras_health.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/ras_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/ras_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ras_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ras_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_churn.dir/fig16_churn.cpp.o"
+  "CMakeFiles/fig16_churn.dir/fig16_churn.cpp.o.d"
+  "fig16_churn"
+  "fig16_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libras_bench_sweep.a"
+  "../lib/libras_bench_sweep.pdb"
+  "CMakeFiles/ras_bench_sweep.dir/sweep_common.cpp.o"
+  "CMakeFiles/ras_bench_sweep.dir/sweep_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_bench_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libras_bench_sweep.a"
+)

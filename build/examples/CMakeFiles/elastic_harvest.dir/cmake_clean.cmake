@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_harvest.dir/elastic_harvest.cpp.o"
+  "CMakeFiles/elastic_harvest.dir/elastic_harvest.cpp.o.d"
+  "elastic_harvest"
+  "elastic_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msb_failure_drill.dir/msb_failure_drill.cpp.o"
+  "CMakeFiles/msb_failure_drill.dir/msb_failure_drill.cpp.o.d"
+  "msb_failure_drill"
+  "msb_failure_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msb_failure_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_tour.dir/operator_tour.cpp.o"
+  "CMakeFiles/operator_tour.dir/operator_tour.cpp.o.d"
+  "operator_tour"
+  "operator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_autopilot.dir/region_autopilot.cpp.o"
+  "CMakeFiles/region_autopilot.dir/region_autopilot.cpp.o.d"
+  "region_autopilot"
+  "region_autopilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

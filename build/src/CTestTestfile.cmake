@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("topology")
+subdirs("solver")
+subdirs("fleet")
+subdirs("broker")
+subdirs("health")
+subdirs("twine")
+subdirs("core")
+subdirs("sim")

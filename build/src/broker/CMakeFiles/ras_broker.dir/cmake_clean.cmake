@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_broker.dir/resource_broker.cc.o"
+  "CMakeFiles/ras_broker.dir/resource_broker.cc.o.d"
+  "libras_broker.a"
+  "libras_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/ras_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/assignment_decoder.cc" "src/core/CMakeFiles/ras_core.dir/assignment_decoder.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/assignment_decoder.cc.o.d"
+  "/root/repo/src/core/async_solver.cc" "src/core/CMakeFiles/ras_core.dir/async_solver.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/async_solver.cc.o.d"
+  "/root/repo/src/core/buffer_policy.cc" "src/core/CMakeFiles/ras_core.dir/buffer_policy.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/buffer_policy.cc.o.d"
+  "/root/repo/src/core/capacity_portal.cc" "src/core/CMakeFiles/ras_core.dir/capacity_portal.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/capacity_portal.cc.o.d"
+  "/root/repo/src/core/emergency.cc" "src/core/CMakeFiles/ras_core.dir/emergency.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/emergency.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/ras_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/initial_assignment.cc" "src/core/CMakeFiles/ras_core.dir/initial_assignment.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/initial_assignment.cc.o.d"
+  "/root/repo/src/core/local_search.cc" "src/core/CMakeFiles/ras_core.dir/local_search.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/local_search.cc.o.d"
+  "/root/repo/src/core/lp_rounding.cc" "src/core/CMakeFiles/ras_core.dir/lp_rounding.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/lp_rounding.cc.o.d"
+  "/root/repo/src/core/model_builder.cc" "src/core/CMakeFiles/ras_core.dir/model_builder.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/model_builder.cc.o.d"
+  "/root/repo/src/core/online_mover.cc" "src/core/CMakeFiles/ras_core.dir/online_mover.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/online_mover.cc.o.d"
+  "/root/repo/src/core/reservation.cc" "src/core/CMakeFiles/ras_core.dir/reservation.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/reservation.cc.o.d"
+  "/root/repo/src/core/rru.cc" "src/core/CMakeFiles/ras_core.dir/rru.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/rru.cc.o.d"
+  "/root/repo/src/core/solve_input.cc" "src/core/CMakeFiles/ras_core.dir/solve_input.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/solve_input.cc.o.d"
+  "/root/repo/src/core/state_io.cc" "src/core/CMakeFiles/ras_core.dir/state_io.cc.o" "gcc" "src/core/CMakeFiles/ras_core.dir/state_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/ras_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/ras_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/twine/CMakeFiles/ras_twine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/ras_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ras_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ras_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

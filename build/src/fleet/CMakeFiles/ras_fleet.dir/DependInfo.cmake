@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/fleet_gen.cc" "src/fleet/CMakeFiles/ras_fleet.dir/fleet_gen.cc.o" "gcc" "src/fleet/CMakeFiles/ras_fleet.dir/fleet_gen.cc.o.d"
+  "/root/repo/src/fleet/request_gen.cc" "src/fleet/CMakeFiles/ras_fleet.dir/request_gen.cc.o" "gcc" "src/fleet/CMakeFiles/ras_fleet.dir/request_gen.cc.o.d"
+  "/root/repo/src/fleet/service_profile.cc" "src/fleet/CMakeFiles/ras_fleet.dir/service_profile.cc.o" "gcc" "src/fleet/CMakeFiles/ras_fleet.dir/service_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/ras_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ras_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

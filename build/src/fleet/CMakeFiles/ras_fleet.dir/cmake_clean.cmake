@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_fleet.dir/fleet_gen.cc.o"
+  "CMakeFiles/ras_fleet.dir/fleet_gen.cc.o.d"
+  "CMakeFiles/ras_fleet.dir/request_gen.cc.o"
+  "CMakeFiles/ras_fleet.dir/request_gen.cc.o.d"
+  "CMakeFiles/ras_fleet.dir/service_profile.cc.o"
+  "CMakeFiles/ras_fleet.dir/service_profile.cc.o.d"
+  "libras_fleet.a"
+  "libras_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

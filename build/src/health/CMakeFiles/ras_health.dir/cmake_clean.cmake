@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_health.dir/health.cc.o"
+  "CMakeFiles/ras_health.dir/health.cc.o.d"
+  "libras_health.a"
+  "libras_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ras_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ras_sim.dir/scenario.cc.o"
+  "CMakeFiles/ras_sim.dir/scenario.cc.o.d"
+  "libras_sim.a"
+  "libras_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

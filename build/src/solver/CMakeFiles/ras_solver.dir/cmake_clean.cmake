@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_solver.dir/mip.cc.o"
+  "CMakeFiles/ras_solver.dir/mip.cc.o.d"
+  "CMakeFiles/ras_solver.dir/model.cc.o"
+  "CMakeFiles/ras_solver.dir/model.cc.o.d"
+  "CMakeFiles/ras_solver.dir/simplex.cc.o"
+  "CMakeFiles/ras_solver.dir/simplex.cc.o.d"
+  "libras_solver.a"
+  "libras_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_topology.dir/hardware.cc.o"
+  "CMakeFiles/ras_topology.dir/hardware.cc.o.d"
+  "CMakeFiles/ras_topology.dir/topology.cc.o"
+  "CMakeFiles/ras_topology.dir/topology.cc.o.d"
+  "libras_topology.a"
+  "libras_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twine/allocator.cc" "src/twine/CMakeFiles/ras_twine.dir/allocator.cc.o" "gcc" "src/twine/CMakeFiles/ras_twine.dir/allocator.cc.o.d"
+  "/root/repo/src/twine/greedy_assigner.cc" "src/twine/CMakeFiles/ras_twine.dir/greedy_assigner.cc.o" "gcc" "src/twine/CMakeFiles/ras_twine.dir/greedy_assigner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/ras_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ras_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ras_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_twine.dir/allocator.cc.o"
+  "CMakeFiles/ras_twine.dir/allocator.cc.o.d"
+  "CMakeFiles/ras_twine.dir/greedy_assigner.cc.o"
+  "CMakeFiles/ras_twine.dir/greedy_assigner.cc.o.d"
+  "libras_twine.a"
+  "libras_twine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_twine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

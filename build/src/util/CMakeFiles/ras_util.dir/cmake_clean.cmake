@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_util.dir/logging.cc.o"
+  "CMakeFiles/ras_util.dir/logging.cc.o.d"
+  "CMakeFiles/ras_util.dir/rng.cc.o"
+  "CMakeFiles/ras_util.dir/rng.cc.o.d"
+  "CMakeFiles/ras_util.dir/sim_time.cc.o"
+  "CMakeFiles/ras_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/ras_util.dir/stats.cc.o"
+  "CMakeFiles/ras_util.dir/stats.cc.o.d"
+  "CMakeFiles/ras_util.dir/status.cc.o"
+  "CMakeFiles/ras_util.dir/status.cc.o.d"
+  "libras_util.a"
+  "libras_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

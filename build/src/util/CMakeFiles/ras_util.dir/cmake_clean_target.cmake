@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libras_util.a"
+)

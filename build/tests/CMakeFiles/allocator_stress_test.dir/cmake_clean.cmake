@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_stress_test.dir/twine/allocator_stress_test.cc.o"
+  "CMakeFiles/allocator_stress_test.dir/twine/allocator_stress_test.cc.o.d"
+  "allocator_stress_test"
+  "allocator_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

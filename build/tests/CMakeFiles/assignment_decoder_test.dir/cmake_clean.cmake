@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_decoder_test.dir/core/assignment_decoder_test.cc.o"
+  "CMakeFiles/assignment_decoder_test.dir/core/assignment_decoder_test.cc.o.d"
+  "assignment_decoder_test"
+  "assignment_decoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

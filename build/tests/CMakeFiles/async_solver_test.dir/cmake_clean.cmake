@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_solver_test.dir/core/async_solver_test.cc.o"
+  "CMakeFiles/async_solver_test.dir/core/async_solver_test.cc.o.d"
+  "async_solver_test"
+  "async_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_policy_test.dir/core/buffer_policy_test.cc.o"
+  "CMakeFiles/buffer_policy_test.dir/core/buffer_policy_test.cc.o.d"
+  "buffer_policy_test"
+  "buffer_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

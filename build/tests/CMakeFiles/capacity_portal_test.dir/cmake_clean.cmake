@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_portal_test.dir/core/capacity_portal_test.cc.o"
+  "CMakeFiles/capacity_portal_test.dir/core/capacity_portal_test.cc.o.d"
+  "capacity_portal_test"
+  "capacity_portal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_portal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

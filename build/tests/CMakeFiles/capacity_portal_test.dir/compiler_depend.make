@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for capacity_portal_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_gen_test.dir/fleet/fleet_gen_test.cc.o"
+  "CMakeFiles/fleet_gen_test.dir/fleet/fleet_gen_test.cc.o.d"
+  "fleet_gen_test"
+  "fleet_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_assigner_test.dir/twine/greedy_assigner_test.cc.o"
+  "CMakeFiles/greedy_assigner_test.dir/twine/greedy_assigner_test.cc.o.d"
+  "greedy_assigner_test"
+  "greedy_assigner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_assigner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_test.dir/topology/hardware_test.cc.o"
+  "CMakeFiles/hardware_test.dir/topology/hardware_test.cc.o.d"
+  "hardware_test"
+  "hardware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

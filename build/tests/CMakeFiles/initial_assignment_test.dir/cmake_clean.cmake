@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initial_assignment_test.dir/core/initial_assignment_test.cc.o"
+  "CMakeFiles/initial_assignment_test.dir/core/initial_assignment_test.cc.o.d"
+  "initial_assignment_test"
+  "initial_assignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initial_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_builder_test.dir/core/model_builder_test.cc.o"
+  "CMakeFiles/model_builder_test.dir/core/model_builder_test.cc.o.d"
+  "model_builder_test"
+  "model_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_mover_test.dir/core/online_mover_test.cc.o"
+  "CMakeFiles/online_mover_test.dir/core/online_mover_test.cc.o.d"
+  "online_mover_test"
+  "online_mover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_mover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_gen_test.dir/fleet/request_gen_test.cc.o"
+  "CMakeFiles/request_gen_test.dir/fleet/request_gen_test.cc.o.d"
+  "request_gen_test"
+  "request_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

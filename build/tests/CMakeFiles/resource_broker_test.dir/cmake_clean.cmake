@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_broker_test.dir/broker/resource_broker_test.cc.o"
+  "CMakeFiles/resource_broker_test.dir/broker/resource_broker_test.cc.o.d"
+  "resource_broker_test"
+  "resource_broker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

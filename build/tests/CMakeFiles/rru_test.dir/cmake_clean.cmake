@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rru_test.dir/core/rru_test.cc.o"
+  "CMakeFiles/rru_test.dir/core/rru_test.cc.o.d"
+  "rru_test"
+  "rru_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_profile_test.dir/fleet/service_profile_test.cc.o"
+  "CMakeFiles/service_profile_test.dir/fleet/service_profile_test.cc.o.d"
+  "service_profile_test"
+  "service_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

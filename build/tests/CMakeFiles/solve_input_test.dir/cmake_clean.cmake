@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_input_test.dir/core/solve_input_test.cc.o"
+  "CMakeFiles/solve_input_test.dir/core/solve_input_test.cc.o.d"
+  "solve_input_test"
+  "solve_input_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_input_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

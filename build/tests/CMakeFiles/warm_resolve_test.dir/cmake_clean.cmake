@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warm_resolve_test.dir/solver/warm_resolve_test.cc.o"
+  "CMakeFiles/warm_resolve_test.dir/solver/warm_resolve_test.cc.o.d"
+  "warm_resolve_test"
+  "warm_resolve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warm_resolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
