@@ -30,6 +30,36 @@ void ResourceBroker::SetTarget(ServerId id, ReservationId target) {
   Notify(id);
 }
 
+Status ResourceBroker::TrySetTarget(ServerId id, ReservationId target) {
+  if (write_fault_hook_ && write_fault_hook_(id, target)) {
+    ++failed_writes_;
+    return Status::Unavailable("broker target write failed for server " + std::to_string(id));
+  }
+  SetTarget(id, target);
+  return Status::Ok();
+}
+
+Status ResourceBroker::ApplyTargets(
+    const std::vector<std::pair<ServerId, ReservationId>>& targets) {
+  std::vector<std::pair<ServerId, ReservationId>> undo;
+  undo.reserve(targets.size());
+  for (const auto& [server, res] : targets) {
+    ReservationId previous = records_[server].target;
+    Status status = TrySetTarget(server, res);
+    if (!status.ok()) {
+      // Roll back what this batch already wrote. The rollback itself is a
+      // local undo of uncommitted state, not a replicated write, so it
+      // bypasses the fault hook and cannot fail.
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+        SetTarget(it->first, it->second);
+      }
+      return status;
+    }
+    undo.emplace_back(server, previous);
+  }
+  return Status::Ok();
+}
+
 void ResourceBroker::SetCurrent(ServerId id, ReservationId current) {
   ServerRecord& r = records_[id];
   if (r.current == current) {
@@ -99,6 +129,7 @@ int ResourceBroker::Subscribe(Watcher watcher) {
 void ResourceBroker::Unsubscribe(int handle) { watchers_.erase(handle); }
 
 void ResourceBroker::Notify(ServerId id) {
+  ++generation_;
   for (auto& [handle, watcher] : watchers_) {
     watcher(records_[id]);
   }

@@ -62,12 +62,37 @@ class ResourceBroker {
   size_t num_servers() const { return records_.size(); }
   const ServerRecord& record(ServerId id) const { return records_[id]; }
 
+  // Store-wide mutation counter: bumped on every record change. Snapshot
+  // consumers (the solver supervisor) compare generations to detect that the
+  // world moved while a solve was in flight.
+  uint64_t generation() const { return generation_; }
+  // Models an out-of-band mutation (an emergency operator write, a replica
+  // catching up) without changing any record; invalidates open snapshots.
+  void MarkExternalMutation() { ++generation_; }
+
   // --- Mutations (bump the record version and notify watchers) ---
   void SetTarget(ServerId id, ReservationId target);
   void SetCurrent(ServerId id, ReservationId current);
   void SetElasticLoan(ServerId id, ReservationId home, bool loaned);
   void SetUnavailability(ServerId id, Unavailability u);
   void SetHasContainers(ServerId id, bool has);
+
+  // --- Fallible target writes (the production broker is replicated storage;
+  // --- a write can fail on quorum loss) ---
+  // Like SetTarget but subject to the write-fault hook; UNAVAILABLE when the
+  // write is rejected, in which case the record is untouched.
+  Status TrySetTarget(ServerId id, ReservationId target);
+  // Persists a whole solve result atomically with respect to failure: on the
+  // first rejected write, every earlier write of this batch is rolled back
+  // and UNAVAILABLE is returned — the broker never holds a half-applied
+  // target set.
+  Status ApplyTargets(const std::vector<std::pair<ServerId, ReservationId>>& targets);
+
+  // Fault injection: when set, TrySetTarget/ApplyTargets consult the hook and
+  // fail the write when it returns true. `failed_writes()` counts rejections.
+  using WriteFaultHook = std::function<bool(ServerId, ReservationId)>;
+  void SetWriteFaultHook(WriteFaultHook hook) { write_fault_hook_ = std::move(hook); }
+  size_t failed_writes() const { return failed_writes_; }
 
   // --- Queries ---
   // Servers currently bound to `reservation` (kUnassigned = free pool).
@@ -93,6 +118,9 @@ class ResourceBroker {
   std::unordered_map<int, Watcher> watchers_;
   int next_watcher_ = 1;
   std::vector<ServerId> empty_;
+  uint64_t generation_ = 0;
+  WriteFaultHook write_fault_hook_;
+  size_t failed_writes_ = 0;
 };
 
 }  // namespace ras

@@ -181,13 +181,68 @@ std::vector<double> AsyncSolver::RackOverflow(const SolveInput& input,
   return overflow;
 }
 
+const char* SolveModeName(SolveMode mode) {
+  switch (mode) {
+    case SolveMode::kFullTwoPhase:
+      return "FULL_TWO_PHASE";
+    case SolveMode::kPhase1Only:
+      return "PHASE1_ONLY";
+    case SolveMode::kIncumbentOnly:
+      return "INCUMBENT_ONLY";
+  }
+  return "UNKNOWN";
+}
+
 Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
-                                              DecodedAssignment* decoded_out) {
+                                              DecodedAssignment* decoded_out, SolveMode mode) {
   if (input.topology == nullptr || input.catalog == nullptr) {
     return Status::InvalidArgument("solve input missing topology or catalog");
   }
+  if (fault_hook_) {
+    Status injected = fault_hook_(mode);
+    if (!injected.ok()) {
+      return injected;
+    }
+  }
   double start = Now();
   SolveStats stats;
+
+  if (mode == SolveMode::kIncumbentOnly) {
+    // Degraded rung: skip the MIP entirely and ship the greedy spread-aware
+    // repair of the current assignment — bounded milliseconds, always
+    // produces a valid (if suboptimal) region-wide assignment.
+    double t0 = Now();
+    std::vector<EquivalenceClass> classes = BuildEquivalenceClasses(input, Scope::kMsb);
+    BuiltModel built = BuildRasModel(input, classes, config_, /*include_rack_spread=*/false);
+    stats.phase1.timings.ras_build_s = Now() - t0;
+    stats.phase1.assignment_variables = built.num_assignment_variables();
+    stats.phase1.model_rows = built.model.num_rows();
+    stats.phase1.model_variables = built.model.num_variables();
+    stats.phase1.memory_bytes = built.EstimatedMemoryBytes();
+    t0 = Now();
+    std::vector<double> counts = BuildInitialCounts(input, classes, built);
+    std::vector<double> warm = MakeWarmStart(input, classes, built, counts);
+    stats.phase1.timings.initial_state_s = Now() - t0;
+    stats.phase1.ran = true;
+    stats.phase1.mip_status = MipStatus::kFeasible;  // Greedy: no bound.
+    stats.phase1.objective = built.model.Objective(warm);
+    stats.phase1.warm_start_objective = stats.phase1.objective;
+    stats.phase1.best_bound = -kInf;
+    DecodedAssignment decoded = DecodeAssignment(input, classes, built, warm);
+    for (const auto& [server, res] : decoded.targets) {
+      const ServerSolveState& before = input.servers[server];
+      if (before.current != res) {
+        ++stats.moves_total;
+        (before.in_use ? stats.moves_in_use : stats.moves_idle)++;
+      }
+    }
+    stats.total_shortfall_rru = ComputeShortfall(input, decoded.targets);
+    stats.total_seconds = Now() - start;
+    if (decoded_out != nullptr) {
+      *decoded_out = std::move(decoded);
+    }
+    return stats;
+  }
 
   // ---- Phase 1: MSB granularity, region-wide ----
   double t0 = Now();
@@ -201,6 +256,24 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
   std::vector<std::pair<ServerId, ReservationId>> final_targets = phase1.decoded.targets;
 
   // ---- Phase 2: rack granularity for the worst rack offenders ----
+  if (mode == SolveMode::kPhase1Only) {
+    for (const auto& [server, res] : final_targets) {
+      const ServerSolveState& before = input.servers[server];
+      if (before.current != res) {
+        ++stats.moves_total;
+        (before.in_use ? stats.moves_in_use : stats.moves_idle)++;
+      }
+    }
+    stats.total_shortfall_rru = ComputeShortfall(input, final_targets);
+    stats.total_seconds = Now() - start;
+    if (decoded_out != nullptr) {
+      decoded_out->targets = std::move(final_targets);
+      decoded_out->moves_total = stats.moves_total;
+      decoded_out->moves_in_use = stats.moves_in_use;
+      decoded_out->moves_idle = stats.moves_idle;
+    }
+    return stats;
+  }
   t0 = Now();
   SolveInput input2 = input;  // Apply phase-1 targets as the new current state.
   for (const auto& [server, res] : final_targets) {
@@ -285,22 +358,24 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
 
 Result<SolveStats> AsyncSolver::SolveOnce(ResourceBroker& broker,
                                           const ReservationRegistry& registry,
-                                          const HardwareCatalog& catalog) {
+                                          const HardwareCatalog& catalog, SolveMode mode) {
   double t0 = Now();
   SolveInput input = SnapshotSolveInput(broker, registry, catalog);
   double snapshot_s = Now() - t0;
 
   DecodedAssignment decoded;
-  Result<SolveStats> stats = SolveSnapshot(input, &decoded);
+  Result<SolveStats> stats = SolveSnapshot(input, &decoded, mode);
   if (!stats.ok()) {
     return stats;
   }
   stats->phase1.timings.ras_build_s += snapshot_s;
   stats->total_seconds += snapshot_s;
 
-  // Persist the binding intent (Figure 6, step 3).
-  for (const auto& [server, res] : decoded.targets) {
-    broker.SetTarget(server, res);
+  // Persist the binding intent (Figure 6, step 3) — all-or-nothing, so a
+  // broker write failure cannot strand a half-applied target set.
+  Status persisted = broker.ApplyTargets(decoded.targets);
+  if (!persisted.ok()) {
+    return persisted;
   }
   return stats;
 }

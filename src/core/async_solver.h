@@ -13,6 +13,7 @@
 #ifndef RAS_SRC_CORE_ASYNC_SOLVER_H_
 #define RAS_SRC_CORE_ASYNC_SOLVER_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/broker/resource_broker.h"
@@ -22,6 +23,18 @@
 #include "src/core/solve_input.h"
 
 namespace ras {
+
+// How much of the solve pipeline to run. The degraded modes are the middle
+// rungs of the supervisor's ladder: each trades solution quality for a
+// cheaper, more reliable answer when the full solve keeps failing.
+enum class SolveMode : uint8_t {
+  kFullTwoPhase = 0,  // Phase 1 + rack-granular phase 2 (the normal solve).
+  kPhase1Only,        // MSB-granular MIP only; skip the phase-2 refinement.
+  kIncumbentOnly,     // No MIP at all: the greedy spread-aware initial
+                      // assignment (RAS's documented timeout fallback).
+};
+
+const char* SolveModeName(SolveMode mode);
 
 struct StepTimings {
   double ras_build_s = 0.0;
@@ -66,13 +79,24 @@ class AsyncSolver {
   SolverConfig& mutable_config() { return config_; }
 
   // One full solve (Figure 6, steps 2-3): snapshot broker + registry, run the
-  // two phases, and persist the resulting targets to the broker.
+  // two phases, and persist the resulting targets to the broker. The persist
+  // is all-or-nothing: a failed broker write rolls the batch back and the
+  // error propagates with the broker unchanged.
   Result<SolveStats> SolveOnce(ResourceBroker& broker, const ReservationRegistry& registry,
-                               const HardwareCatalog& catalog);
+                               const HardwareCatalog& catalog,
+                               SolveMode mode = SolveMode::kFullTwoPhase);
 
   // Lower-level entry point over a prepared snapshot; used by benches that
   // need the input held fixed. Fills `targets` instead of writing the broker.
-  Result<SolveStats> SolveSnapshot(const SolveInput& input, DecodedAssignment* decoded);
+  Result<SolveStats> SolveSnapshot(const SolveInput& input, DecodedAssignment* decoded,
+                                   SolveMode mode = SolveMode::kFullTwoPhase);
+
+  // Fault-injection hook, consulted at the top of every SolveSnapshot with
+  // the mode about to run. A non-OK return aborts the solve with that status
+  // — how the fault library simulates solver timeouts and crashes without
+  // touching solver internals.
+  using FaultHook = std::function<Status(SolveMode)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:
   // Runs one phase over the given classes; returns the decoded assignment.
@@ -90,6 +114,7 @@ class AsyncSolver {
   std::vector<double> RackOverflow(const SolveInput& input, const DecodedAssignment& decoded);
 
   SolverConfig config_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace ras

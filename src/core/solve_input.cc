@@ -55,6 +55,44 @@ SolveInput SnapshotSolveInput(const ResourceBroker& broker, const ReservationReg
   return input;
 }
 
+Status ValidateSolveInput(const SolveInput& input) {
+  if (input.topology == nullptr || input.catalog == nullptr) {
+    return Status::InvalidArgument("snapshot missing topology or catalog");
+  }
+  if (input.servers.size() != input.topology->num_servers()) {
+    return Status::Internal("snapshot covers " + std::to_string(input.servers.size()) +
+                            " servers, fleet has " +
+                            std::to_string(input.topology->num_servers()));
+  }
+  std::unordered_set<ReservationId> ids;
+  ids.reserve(input.reservations.size());
+  for (const ReservationSpec& spec : input.reservations) {
+    if (spec.id == kUnassigned) {
+      return Status::Internal("snapshot reservation '" + spec.name + "' has no id");
+    }
+    if (!ids.insert(spec.id).second) {
+      return Status::Internal("snapshot has duplicate reservation id " +
+                              std::to_string(spec.id));
+    }
+    if (spec.capacity_rru < 0.0) {
+      return Status::Internal("snapshot reservation " + std::to_string(spec.id) +
+                              " has negative capacity");
+    }
+    if (spec.rru_per_type.empty()) {
+      return Status::Internal("snapshot reservation " + std::to_string(spec.id) +
+                              " has an empty RRU vector");
+    }
+  }
+  for (ServerId id = 0; id < input.servers.size(); ++id) {
+    ReservationId current = input.servers[id].current;
+    if (current != kUnassigned && ids.count(current) == 0) {
+      return Status::Internal("snapshot server " + std::to_string(id) +
+                              " bound to unknown reservation " + std::to_string(current));
+    }
+  }
+  return Status::Ok();
+}
+
 std::vector<EquivalenceClass> BuildEquivalenceClasses(const SolveInput& input, Scope granularity,
                                                       const ClassFilter& filter) {
   assert(input.topology != nullptr);

@@ -40,6 +40,14 @@ struct SolveInput {
 SolveInput SnapshotSolveInput(const ResourceBroker& broker, const ReservationRegistry& registry,
                               const HardwareCatalog& catalog);
 
+// Structural integrity check a snapshot must pass before it is solved (and
+// before its solution may be persisted): topology/catalog present, the server
+// vector covering the whole fleet, reservation ids unique with sane capacity
+// specs, and every server binding resolving to a snapshotted reservation.
+// O(servers + reservations). SnapshotSolveInput output always passes; a
+// corrupted or torn snapshot does not.
+Status ValidateSolveInput(const SolveInput& input);
+
 // One equivalence class: servers that are interchangeable in the MIP —
 // identical location group (MSB in phase 1, rack in phase 2), hardware type,
 // current assignment, and movement-cost tier. Merging them turns |class|

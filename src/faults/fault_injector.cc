@@ -1,0 +1,121 @@
+#include "src/faults/fault_injector.h"
+
+namespace ras {
+namespace {
+
+// SplitMix64 step, shared idiom with util/rng.cc. Used both to mix the
+// (seed, round, kind) triple into a stream state and to step the stream.
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double NextUnit(uint64_t& state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSolverTimeout:
+      return "SOLVER_TIMEOUT";
+    case FaultKind::kSolverCrash:
+      return "SOLVER_CRASH";
+    case FaultKind::kSnapshotCorruption:
+      return "SNAPSHOT_CORRUPTION";
+    case FaultKind::kSnapshotStale:
+      return "SNAPSHOT_STALE";
+    case FaultKind::kBrokerWriteFailure:
+      return "BROKER_WRITE_FAILURE";
+  }
+  return "UNKNOWN";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) { BeginRound(0, SimTime{0}); }
+
+void FaultInjector::BeginRound(int round, SimTime now) {
+  round_ = round;
+  now_ = now;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    // Independent stream per (seed, round, kind): query order across kinds
+    // cannot perturb the draws.
+    uint64_t mix = plan_.seed;
+    SplitMix64(mix);
+    mix ^= 0x632be59bd9b4e019ULL * static_cast<uint64_t>(round + 1);
+    SplitMix64(mix);
+    mix ^= 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(k + 1);
+    stream_state_[k] = mix;
+  }
+}
+
+bool FaultInjector::Armed(FaultKind kind) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.kind != kind) {
+      continue;
+    }
+    if (round_ < rule.first_round || round_ > rule.last_round) {
+      continue;
+    }
+    if (now_ < rule.not_before || now_ > rule.not_after) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::Fires(FaultKind kind) {
+  uint64_t& stream = stream_state_[static_cast<int>(kind)];
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.kind != kind) {
+      continue;
+    }
+    if (round_ < rule.first_round || round_ > rule.last_round) {
+      continue;
+    }
+    if (now_ < rule.not_before || now_ > rule.not_after) {
+      continue;
+    }
+    // One draw per query even for probability-1 rules, so changing a rule's
+    // probability never shifts later draws in the same stream.
+    double u = NextUnit(stream);
+    if (u < rule.probability) {
+      ++fired_[static_cast<int>(kind)];
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::CorruptSnapshot(SolveInput& input) {
+  uint64_t stream = stream_state_[static_cast<int>(FaultKind::kSnapshotCorruption)] ^
+                    0xd1b54a32d192ed03ULL;
+  if (!input.servers.empty()) {
+    // Dangling binding: a reservation id no registry would hand out.
+    size_t victim = SplitMix64(stream) % input.servers.size();
+    input.servers[victim].current = 0xDEADBEEF;
+  }
+  if (!input.reservations.empty()) {
+    // Negative capacity: a torn read of the request state.
+    size_t victim = SplitMix64(stream) % input.reservations.size();
+    input.reservations[victim].capacity_rru = -1.0;
+  }
+  if (input.topology != nullptr && SplitMix64(stream) % 2 == 0) {
+    // Truncated server vector: snapshot size no longer matches the fleet.
+    input.servers.resize(input.servers.size() / 2);
+  }
+}
+
+size_t FaultInjector::total_fired() const {
+  size_t total = 0;
+  for (size_t count : fired_) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace ras

@@ -1,0 +1,62 @@
+// Fault injector: evaluates a FaultPlan deterministically and carries the
+// hooks that wire faults into the AsyncSolver (timeout / crash), the
+// ResourceBroker (write failures), and the snapshot path (corruption /
+// staleness). The SolverSupervisor owns one and consults it each round;
+// standalone tests can drive it directly.
+
+#ifndef RAS_SRC_FAULTS_FAULT_INJECTOR_H_
+#define RAS_SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/core/solve_input.h"
+#include "src/faults/fault_plan.h"
+
+namespace ras {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Advances the injector to a new solver round. Query streams are re-derived
+  // from (seed, round), so the answers within a round do not depend on how
+  // many queries earlier rounds made.
+  void BeginRound(int round, SimTime now);
+
+  // Updates the simulated clock mid-round (after a backoff) without touching
+  // the draw streams; only the rules' time windows see the new time.
+  void AdvanceTime(SimTime now) { now_ = now; }
+
+  int round() const { return round_; }
+
+  // One deterministic Bernoulli query: does `kind` fire now? Consecutive
+  // queries for the same kind within a round draw from an independent
+  // per-(round, kind) stream, so e.g. three solve attempts in one round get
+  // three independent draws.
+  bool Fires(FaultKind kind);
+
+  // Like Fires, but without consuming a draw — true iff some rule's window
+  // covers the current round/time (regardless of probability).
+  bool Armed(FaultKind kind) const;
+
+  // Scribbles deterministic garbage into a snapshot: dangling reservation
+  // bindings and an out-of-range truncation of the server vector, the kind of
+  // damage ValidateSolveInput must catch.
+  void CorruptSnapshot(SolveInput& input);
+
+  // Total times each kind has fired (across all rounds).
+  size_t fired_count(FaultKind kind) const { return fired_[static_cast<int>(kind)]; }
+  size_t total_fired() const;
+
+ private:
+  FaultPlan plan_;
+  int round_ = -1;
+  SimTime now_{0};
+  // Per-kind draw streams for the current round.
+  uint64_t stream_state_[kNumFaultKinds] = {};
+  size_t fired_[kNumFaultKinds] = {};
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_FAULTS_FAULT_INJECTOR_H_

@@ -13,16 +13,30 @@ void EventLoop::ScheduleAt(SimTime t, Callback fn) {
   queue_.push(Entry{t, next_seq_++, std::move(fn)});
 }
 
+namespace {
+
+struct RecurringEvent {
+  EventLoop* loop;
+  SimDuration period;
+  EventLoop::Callback body;
+};
+
+// Each queue entry owns the shared state and hands it to the next occurrence;
+// no entry refers back to itself, so destroying the loop (and with it the
+// queue) releases everything — a self-capturing closure would leak as a
+// shared_ptr cycle instead.
+void RunRecurring(const std::shared_ptr<RecurringEvent>& event, SimTime t) {
+  event->body(t);
+  event->loop->ScheduleAt(t + event->period,
+                          [event](SimTime next) { RunRecurring(event, next); });
+}
+
+}  // namespace
+
 void EventLoop::ScheduleEvery(SimTime first, SimDuration period, Callback fn) {
   assert(period.seconds > 0);
-  // Self-rescheduling wrapper; shared_ptr breaks the lambda's own-type cycle.
-  auto recur = std::make_shared<Callback>();
-  auto body = std::make_shared<Callback>(std::move(fn));
-  *recur = [this, period, body, recur](SimTime t) {
-    (*body)(t);
-    ScheduleAt(t + period, *recur);
-  };
-  ScheduleAt(first, *recur);
+  auto event = std::make_shared<RecurringEvent>(RecurringEvent{this, period, std::move(fn)});
+  ScheduleAt(first, [event = std::move(event)](SimTime t) { RunRecurring(event, t); });
 }
 
 void EventLoop::RunUntil(SimTime end) {

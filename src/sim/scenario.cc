@@ -14,6 +14,12 @@ RegionScenario::RegionScenario(const ScenarioOptions& options)
   solver.mutable_config() = options.solver;
   shared_buffer_ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog,
                                           options.shared_buffer_fraction);
+  supervisor = std::make_unique<SolverSupervisor>(&solver, broker.get(), &registry,
+                                                  &fleet.catalog, &loop, options.supervisor);
+  if (!options.faults.empty()) {
+    fault_injector = std::make_unique<FaultInjector>(options.faults);
+    supervisor->SetFaultInjector(fault_injector.get());
+  }
 }
 
 void RegionScenario::ArmHealth(SimDuration horizon) {
@@ -31,12 +37,16 @@ void RegionScenario::ArmHealth(SimDuration horizon) {
 }
 
 Result<SolveStats> RegionScenario::SolveRound() {
-  Result<SolveStats> stats = solver.SolveOnce(*broker, registry, fleet.catalog);
-  if (stats.ok()) {
-    mover->ReconcileAll();
-    twine->RetryPending();
+  SupervisedRound round = supervisor->RunRound();
+  // Reconcile and retry unconditionally: even when every rung failed, the
+  // broker holds the (consistent) last-good targets and displaced replicas
+  // must not be starved waiting for the next successful solve.
+  mover->ReconcileAll();
+  twine->RetryPending();
+  if (ProducedAssignment(round.rung)) {
+    return round.stats;
   }
-  return stats;
+  return round.error;
 }
 
 std::vector<double> RegionScenario::MsbPowerDraw() const {

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/core/ras.h"
+#include "src/core/solver_supervisor.h"
+#include "src/faults/fault_plan.h"
 #include "src/fleet/fleet_gen.h"
 #include "src/health/health.h"
 #include "src/sim/event_loop.h"
@@ -23,6 +25,10 @@ struct ScenarioOptions {
   FleetOptions fleet;
   HealthRates health;
   SolverConfig solver;
+  SupervisorConfig supervisor;
+  // Faults to inject into the solve loop; empty = none. Deterministic in
+  // FaultPlan::seed.
+  FaultPlan faults;
   double shared_buffer_fraction = 0.02;
   uint64_t seed = 42;
 };
@@ -43,14 +49,29 @@ class RegionScenario {
   EventLoop loop;
   Rng rng;
   std::vector<ReservationId> shared_buffer_ids;
+  // Fault injection + supervision around the solve loop. The injector is
+  // null when options.faults is empty; the supervisor always exists.
+  std::unique_ptr<FaultInjector> fault_injector;
+  std::unique_ptr<SolverSupervisor> supervisor;
 
   // Generates and loads the health schedule for [0, horizon), and wires the
   // failure callback to the Online Mover's fast replacement path.
   void ArmHealth(SimDuration horizon);
 
-  // One solver round: solve + persist targets + reconcile + retry pending
-  // container placements. Returns the stats.
+  // One supervised solver round: walk the degradation ladder, then reconcile
+  // and retry pending container placements (always — a failed solve must not
+  // starve displaced replicas; the last-good targets still converge). Returns
+  // the stats of the rung that produced an assignment, or the failure status
+  // when the round served from the last-good assignment; either way the
+  // broker is left consistent. Per-round rung/retry detail is in
+  // supervisor->stats().
   Result<SolveStats> SolveRound();
+
+  // Urgent out-of-band capacity; available only while the supervisor has the
+  // emergency path armed (solver unhealthy).
+  Result<EmergencyGrant> RequestUrgentCapacity(ReservationId reservation, size_t count) {
+    return supervisor->RequestUrgentCapacity(reservation, count);
+  }
 
   // --- Metric probes ---
   // Per-MSB power draw (watts), from allocated/idle/free server states.

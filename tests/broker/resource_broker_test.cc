@@ -104,5 +104,56 @@ TEST_F(ResourceBrokerTest, HasContainersFlag) {
   EXPECT_FALSE(broker_.record(1).has_containers);
 }
 
+TEST_F(ResourceBrokerTest, GenerationBumpsOnEveryMutation) {
+  uint64_t g0 = broker_.generation();
+  broker_.SetCurrent(3, 100);
+  EXPECT_GT(broker_.generation(), g0);
+  uint64_t g1 = broker_.generation();
+  broker_.SetTarget(3, 100);
+  EXPECT_GT(broker_.generation(), g1);
+  uint64_t g2 = broker_.generation();
+  broker_.MarkExternalMutation();
+  EXPECT_EQ(broker_.generation(), g2 + 1);
+  // The external mutation touched no record.
+  EXPECT_EQ(broker_.record(3).current, 100u);
+  EXPECT_EQ(broker_.record(3).target, 100u);
+}
+
+TEST_F(ResourceBrokerTest, TrySetTargetHonorsWriteFaultHook) {
+  broker_.SetWriteFaultHook([](ServerId id, ReservationId) { return id == 5; });
+  EXPECT_TRUE(broker_.TrySetTarget(4, 100).ok());
+  Status rejected = broker_.TrySetTarget(5, 100);
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(broker_.record(4).target, 100u);
+  EXPECT_EQ(broker_.record(5).target, kUnassigned);
+  EXPECT_EQ(broker_.failed_writes(), 1u);
+  broker_.SetWriteFaultHook(nullptr);
+  EXPECT_TRUE(broker_.TrySetTarget(5, 100).ok());
+}
+
+TEST_F(ResourceBrokerTest, ApplyTargetsRollsBackMidBatchFailure) {
+  broker_.SetTarget(0, 200);  // Pre-existing intent that must be restored.
+  int writes = 0;
+  broker_.SetWriteFaultHook([&writes](ServerId, ReservationId) { return ++writes == 3; });
+
+  std::vector<std::pair<ServerId, ReservationId>> batch = {
+      {0, 100}, {1, 100}, {2, 100}, {3, 100}};
+  Status status = broker_.ApplyTargets(batch);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // The first two writes landed and were rolled back; the rest never ran.
+  EXPECT_EQ(broker_.record(0).target, 200u);
+  EXPECT_EQ(broker_.record(1).target, kUnassigned);
+  EXPECT_EQ(broker_.record(2).target, kUnassigned);
+  EXPECT_EQ(broker_.record(3).target, kUnassigned);
+  EXPECT_EQ(broker_.failed_writes(), 1u);
+
+  // Without the hook the same batch applies in full.
+  broker_.SetWriteFaultHook(nullptr);
+  EXPECT_TRUE(broker_.ApplyTargets(batch).ok());
+  for (ServerId id = 0; id < 4; ++id) {
+    EXPECT_EQ(broker_.record(id).target, 100u);
+  }
+}
+
 }  // namespace
 }  // namespace ras

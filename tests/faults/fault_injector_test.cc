@@ -1,0 +1,150 @@
+#include "src/faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ras {
+namespace {
+
+TEST(FaultPlanTest, BurstCoversExactWindow) {
+  FaultPlan plan;
+  plan.AddBurst(FaultKind::kSolverCrash, 3, 4);
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].first_round, 3);
+  EXPECT_EQ(plan.rules[0].last_round, 6);
+  EXPECT_EQ(plan.rules[0].probability, 1.0);
+}
+
+TEST(FaultInjectorTest, CertainBurstFiresOnlyInsideWindow) {
+  FaultPlan plan;
+  plan.AddBurst(FaultKind::kSolverCrash, 2, 3);
+  FaultInjector injector(plan);
+  for (int round = 0; round < 8; ++round) {
+    injector.BeginRound(round, SimTime{round * 3600});
+    bool inside = round >= 2 && round <= 4;
+    EXPECT_EQ(injector.Armed(FaultKind::kSolverCrash), inside) << "round " << round;
+    EXPECT_EQ(injector.Fires(FaultKind::kSolverCrash), inside) << "round " << round;
+    EXPECT_FALSE(injector.Fires(FaultKind::kSolverTimeout)) << "round " << round;
+  }
+  EXPECT_EQ(injector.fired_count(FaultKind::kSolverCrash), 3u);
+  EXPECT_EQ(injector.total_fired(), 3u);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityNeverFires) {
+  FaultPlan plan;
+  plan.AddBurst(FaultKind::kBrokerWriteFailure, 0, 1000, 0.0);
+  FaultInjector injector(plan);
+  for (int round = 0; round < 50; ++round) {
+    injector.BeginRound(round, SimTime{0});
+    EXPECT_TRUE(injector.Armed(FaultKind::kBrokerWriteFailure));
+    EXPECT_FALSE(injector.Fires(FaultKind::kBrokerWriteFailure));
+  }
+}
+
+TEST(FaultInjectorTest, TimeWindowGatesRules) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.kind = FaultKind::kSnapshotStale;
+  rule.not_before = SimTime{Hours(2).seconds};
+  rule.not_after = SimTime{Hours(4).seconds};
+  plan.Add(rule);
+  FaultInjector injector(plan);
+
+  injector.BeginRound(0, SimTime{Hours(1).seconds});
+  EXPECT_FALSE(injector.Fires(FaultKind::kSnapshotStale));
+  injector.AdvanceTime(SimTime{Hours(3).seconds});
+  EXPECT_TRUE(injector.Fires(FaultKind::kSnapshotStale));
+  injector.AdvanceTime(SimTime{Hours(5).seconds});
+  EXPECT_FALSE(injector.Fires(FaultKind::kSnapshotStale));
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossInstances) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.AddBurst(FaultKind::kSolverTimeout, 0, 100, 0.4);
+  plan.AddBurst(FaultKind::kSolverCrash, 0, 100, 0.15);
+
+  auto draw_sequence = [&plan]() {
+    FaultInjector injector(plan);
+    std::vector<bool> fired;
+    for (int round = 0; round < 100; ++round) {
+      injector.BeginRound(round, SimTime{0});
+      // Several queries per round, as retries would make.
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        fired.push_back(injector.Fires(FaultKind::kSolverTimeout));
+      }
+      fired.push_back(injector.Fires(FaultKind::kSolverCrash));
+    }
+    return fired;
+  };
+  std::vector<bool> a = draw_sequence();
+  std::vector<bool> b = draw_sequence();
+  EXPECT_EQ(a, b);
+  // Sanity: a 40% rule over 300 draws fires a plausible number of times.
+  size_t timeouts = 0;
+  for (size_t i = 0; i < a.size(); i += 4) {
+    timeouts += a[i] + a[i + 1] + a[i + 2];
+  }
+  EXPECT_GT(timeouts, 60u);
+  EXPECT_LT(timeouts, 180u);
+}
+
+TEST(FaultInjectorTest, KindStreamsAreIndependent) {
+  // Querying one kind must not perturb another kind's draws in the round.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.AddBurst(FaultKind::kSolverTimeout, 0, 50, 0.5);
+  plan.AddBurst(FaultKind::kSolverCrash, 0, 50, 0.5);
+
+  FaultInjector lone(plan);
+  FaultInjector mixed(plan);
+  for (int round = 0; round < 50; ++round) {
+    lone.BeginRound(round, SimTime{0});
+    mixed.BeginRound(round, SimTime{0});
+    // `mixed` interleaves crash queries; `lone` does not.
+    mixed.Fires(FaultKind::kSolverCrash);
+    bool a = lone.Fires(FaultKind::kSolverTimeout);
+    bool b = mixed.Fires(FaultKind::kSolverTimeout);
+    EXPECT_EQ(a, b) << "round " << round;
+    mixed.Fires(FaultKind::kSolverCrash);
+  }
+}
+
+TEST(FaultInjectorTest, CorruptSnapshotIsDetectable) {
+  // Build a minimal valid-shaped input; corruption must plant damage that
+  // ValidateSolveInput rejects.
+  FaultPlan plan;
+  plan.AddBurst(FaultKind::kSnapshotCorruption, 0, 1);
+  FaultInjector injector(plan);
+
+  SolveInput input;
+  ReservationSpec spec;
+  spec.id = 1;
+  spec.name = "svc";
+  spec.capacity_rru = 10;
+  spec.rru_per_type = {1.0};
+  input.reservations.push_back(spec);
+  input.servers.resize(16);
+  injector.CorruptSnapshot(input);
+
+  bool damaged = input.servers.size() != 16;
+  for (const ServerSolveState& s : input.servers) {
+    damaged = damaged || (s.current != kUnassigned && s.current != 1);
+  }
+  for (const ReservationSpec& r : input.reservations) {
+    damaged = damaged || r.capacity_rru < 0.0;
+  }
+  EXPECT_TRUE(damaged);
+}
+
+TEST(FaultKindTest, NamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kSolverTimeout), "SOLVER_TIMEOUT");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSolverCrash), "SOLVER_CRASH");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSnapshotCorruption), "SNAPSHOT_CORRUPTION");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSnapshotStale), "SNAPSHOT_STALE");
+  EXPECT_STREQ(FaultKindName(FaultKind::kBrokerWriteFailure), "BROKER_WRITE_FAILURE");
+}
+
+}  // namespace
+}  // namespace ras
