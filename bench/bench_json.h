@@ -1,0 +1,112 @@
+// Common JSON emitter for benchmark regression artifacts.
+//
+// Benches that participate in the perf trajectory write a BENCH_<name>.json
+// file: a flat array of records, one per measured configuration, so CI can
+// archive them and successive runs can be diffed mechanically. The format is
+// deliberately boring — no nesting beyond one object per record, numbers as
+// %.6g, insertion order preserved.
+
+#ifndef RAS_BENCH_BENCH_JSON_H_
+#define RAS_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ras {
+namespace bench {
+
+// One flat JSON object; fields keep insertion order.
+class JsonRecord {
+ public:
+  JsonRecord& Set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonRecord& Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonRecord& Set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Accumulates records and writes `{"bench": ..., "records": [...]}`.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  JsonRecord& AddRecord() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  // Returns false (and prints to stderr) if the file cannot be written.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", bench_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", records_[i].ToString().c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<JsonRecord> records_;
+};
+
+}  // namespace bench
+}  // namespace ras
+
+#endif  // RAS_BENCH_BENCH_JSON_H_

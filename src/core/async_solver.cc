@@ -113,6 +113,7 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
   } else {
     MipOptions options = mip_options;
     options.lp = LpOptions();
+    options.threads = std::max(options.threads, config_.solver_threads);
     options.heuristic = MakeLpRoundingHeuristic(input, classes, built);
     MipSolver solver(options);
     MipResult mip = solver.Solve(built.model, &warm);

@@ -76,6 +76,13 @@ struct SolverConfig {
   double phase2_reservation_percent = 10.0;
   size_t phase2_max_assignment_vars = 200000;
 
+  // Branch-and-bound workers for both MIP phases (MipOptions::threads).
+  // 1 = the deterministic serial solver; the SolverSupervisor also drops back
+  // to 1 on degraded ladder rungs so retries after a failure are
+  // reproducible. Raising either phase's MipOptions::threads directly wins
+  // over this knob.
+  int solver_threads = 1;
+
   MipOptions phase1_mip;
   MipOptions phase2_mip;
 

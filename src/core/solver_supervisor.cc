@@ -164,7 +164,12 @@ SupervisedRound SolverSupervisor::RunRound() {
   if (!served) {
     RAS_LOG(kWarning) << "round " << round << ": full solve failed after " << out.retries
                       << " retries (" << error.ToString() << "); degrading to phase-1-only";
+    // Degraded rungs run the serial deterministic solver: a failing round is
+    // exactly when reproducibility is worth more than node throughput.
+    int saved_threads = solver_->config().solver_threads;
+    solver_->mutable_config().solver_threads = 1;
     Status status = AttemptSolve(SolveMode::kPhase1Only, &out.stats);
+    solver_->mutable_config().solver_threads = saved_threads;
     if (status.ok()) {
       out.rung = LadderRung::kPhase1Only;
       served = true;

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
 #include <memory>
+#include <mutex>
+
+#include "src/util/thread_pool.h"
 
 namespace ras {
 
@@ -167,6 +171,11 @@ bool TryFixAndSolve(const Model& model, const std::vector<BoundOverride>& node_o
 }  // namespace
 
 MipResult MipSolver::Solve(const Model& model, const std::vector<double>* warm_start) {
+  return options_.threads > 1 ? SolveParallel(model, warm_start)
+                              : SolveSerial(model, warm_start);
+}
+
+MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* warm_start) {
   auto start_time = std::chrono::steady_clock::now();
   auto elapsed = [&start_time]() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
@@ -216,6 +225,7 @@ MipResult MipSolver::Solve(const Model& model, const std::vector<double>* warm_s
     // Children differ from their parent by one bound; reuse the last basis.
     LpResult lp = result.nodes == 1 ? lp_solver.Solve(model, node.overrides)
                                     : lp_solver.ResolveWithBasis(model, node.overrides);
+    result.lp_iterations += lp.iterations;
     if (lp.status == LpStatus::kInfeasible) {
       continue;
     }
@@ -328,6 +338,226 @@ MipResult MipSolver::Solve(const Model& model, const std::vector<double>* warm_s
     }
   } else if (open.empty() && result.nodes > 0 && !result.hit_time_limit &&
              result.nodes < options_.max_nodes) {
+    result.status = MipStatus::kInfeasible;
+  } else {
+    result.status = MipStatus::kNoSolutionFound;
+  }
+  return result;
+}
+
+MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>* warm_start) {
+  auto start_time = std::chrono::steady_clock::now();
+  auto elapsed = [&start_time]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+  };
+
+  // All search state shared by the workers lives behind one mutex; node LP
+  // solves (the expensive part) run outside it, each on the worker's own
+  // SimplexSolver so warm starts chain along each worker's node sequence.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Node> open;
+    int busy = 0;            // Workers currently expanding a node.
+    bool stop = false;       // Limit hit or unbounded: wind down.
+    bool unbounded = false;
+    bool hit_time_limit = false;
+    int64_t nodes = 0;
+    int64_t lp_iterations = 0;
+    bool have_incumbent = false;
+    std::vector<double> incumbent;
+    double incumbent_obj = kInf;
+    bool root_solved = false;
+    double root_bound = -kInf;
+  } sh;
+
+  if (warm_start != nullptr && model.IsFeasible(*warm_start, options_.integrality_tol * 10)) {
+    sh.incumbent = *warm_start;
+    sh.incumbent_obj = model.Objective(sh.incumbent);
+    sh.have_incumbent = true;
+  }
+  sh.open.push_back(Node{{}, -kInf, 0});
+
+  auto worker = [&]() {
+    SimplexSolver lp_solver(options_.lp);
+    // Separate solver for the fix-and-solve heuristic (same rationale as the
+    // serial path: heuristic LPs warm-start each other and never disturb the
+    // node chain's basis).
+    SimplexSolver heuristic_solver(options_.lp);
+
+    std::unique_lock<std::mutex> lock(sh.mu);
+    for (;;) {
+      while (sh.open.empty() && !sh.stop && sh.busy > 0) {
+        sh.cv.wait(lock);
+      }
+      if (sh.stop || sh.open.empty()) {
+        // Done: budget exhausted, or no open nodes and nobody is expanding
+        // one (an expanding worker could still push children, so an empty
+        // queue alone is not termination).
+        break;
+      }
+      if (sh.nodes >= options_.max_nodes || elapsed() > options_.time_limit_seconds) {
+        sh.hit_time_limit = elapsed() > options_.time_limit_seconds;
+        sh.stop = true;  // Leave remaining nodes queued: they price the bound.
+        sh.cv.notify_all();
+        break;
+      }
+      Node node = std::move(sh.open.back());
+      sh.open.pop_back();
+
+      // Prune by parent bound before paying for an LP solve.
+      if (sh.have_incumbent && node.parent_bound > sh.incumbent_obj - options_.absolute_gap) {
+        continue;
+      }
+      ++sh.nodes;
+      int64_t node_id = sh.nodes;
+      ++sh.busy;
+      lock.unlock();
+
+      // ResolveWithBasis falls back to a cold solve on each worker's first
+      // node, then warm-starts down that worker's chain.
+      LpResult lp = lp_solver.ResolveWithBasis(model, node.overrides);
+
+      bool push_children = false;
+      int32_t branch_var = -1;
+      if (lp.status == LpStatus::kOptimal) {
+        branch_var = MostFractional(model, lp.x, options_.integrality_tol);
+        push_children = branch_var >= 0;
+      }
+
+      // Run the (expensive) primal heuristic outside the lock; incumbent
+      // acceptance happens under it afterwards.
+      bool have_candidate = false;
+      std::vector<double> candidate;
+      if (push_children && (node.depth <= 2 || node_id % 16 == 0)) {
+        bool produced =
+            options_.heuristic
+                ? options_.heuristic(model, lp.x, &candidate)
+                : TryFixAndSolve(model, node.overrides, lp.x, heuristic_solver, &candidate);
+        have_candidate = produced && model.IsFeasible(candidate, options_.integrality_tol * 100);
+      }
+
+      lock.lock();
+      --sh.busy;
+      sh.lp_iterations += lp.iterations;
+      if (lp.status == LpStatus::kUnbounded) {
+        sh.unbounded = true;
+        sh.stop = true;
+        sh.cv.notify_all();
+        continue;  // Loop exits via stop.
+      }
+      if (lp.status != LpStatus::kOptimal) {
+        // Infeasible, or numerical trouble / iteration limit: drop the node
+        // (same posture as the serial search).
+        sh.cv.notify_all();
+        continue;
+      }
+      if (node.depth == 0) {
+        sh.root_bound = lp.objective;
+        sh.root_solved = true;
+      }
+      if (have_candidate) {
+        double obj = model.Objective(candidate);
+        if (!sh.have_incumbent || obj < sh.incumbent_obj) {
+          sh.incumbent = std::move(candidate);
+          sh.incumbent_obj = obj;
+          sh.have_incumbent = true;
+        }
+      }
+      if (sh.have_incumbent && lp.objective > sh.incumbent_obj - options_.absolute_gap) {
+        sh.cv.notify_all();
+        continue;  // Bound prune.
+      }
+      if (branch_var < 0) {
+        // Integer feasible.
+        std::vector<double> point = std::move(lp.x);
+        for (size_t j = 0; j < model.num_variables(); ++j) {
+          if (model.variable(j).is_integer) {
+            point[j] = std::round(point[j]);
+          }
+        }
+        double obj = model.Objective(point);
+        if (!sh.have_incumbent || obj < sh.incumbent_obj) {
+          sh.incumbent = std::move(point);
+          sh.incumbent_obj = obj;
+          sh.have_incumbent = true;
+        }
+        sh.cv.notify_all();
+        continue;
+      }
+
+      double lp_value = lp.x[branch_var];
+      double floor_val = std::floor(lp_value);
+      double lb, ub;
+      EffectiveBounds(model, node.overrides, branch_var, &lb, &ub);
+      Node down{node.overrides, lp.objective, node.depth + 1};
+      down.overrides.push_back(BoundOverride{branch_var, lb, floor_val});
+      Node up{node.overrides, lp.objective, node.depth + 1};
+      up.overrides.push_back(BoundOverride{branch_var, floor_val + 1.0, ub});
+      // The child nearest the LP value is pushed last => popped first.
+      if (lp_value - floor_val > 0.5) {
+        sh.open.push_back(std::move(down));
+        sh.open.push_back(std::move(up));
+      } else {
+        sh.open.push_back(std::move(up));
+        sh.open.push_back(std::move(down));
+      }
+      sh.cv.notify_all();
+    }
+    sh.cv.notify_all();
+  };
+
+  {
+    ThreadPool pool(options_.threads);
+    for (int t = 0; t < options_.threads; ++t) {
+      pool.Submit(worker);
+    }
+    pool.Wait();
+  }
+
+  MipResult result;
+  result.best_bound = -kInf;
+  result.nodes = sh.nodes;
+  result.lp_iterations = sh.lp_iterations;
+  result.hit_time_limit = sh.hit_time_limit;
+  result.solve_seconds = elapsed();
+
+  if (sh.unbounded) {
+    result.status = MipStatus::kUnbounded;
+    return result;
+  }
+
+  // Best proven bound: min over open nodes' parent bounds and the incumbent
+  // (identical accounting to the serial search; nodes in flight when a limit
+  // tripped were left on the queue).
+  double open_bound = kInf;
+  for (const Node& n : sh.open) {
+    open_bound = std::min(open_bound, n.parent_bound);
+  }
+  if (sh.open.empty()) {
+    result.best_bound = sh.have_incumbent ? sh.incumbent_obj : kInf;
+  } else {
+    if (open_bound == -kInf) {
+      open_bound = sh.root_solved ? sh.root_bound : -kInf;
+    }
+    result.best_bound =
+        sh.have_incumbent ? std::min(open_bound, sh.incumbent_obj) : open_bound;
+  }
+
+  if (sh.have_incumbent) {
+    result.x = std::move(sh.incumbent);
+    result.objective = sh.incumbent_obj;
+    bool proven = sh.open.empty() ||
+                  result.objective - result.best_bound <= options_.absolute_gap ||
+                  (std::fabs(result.objective) > 1 &&
+                   (result.objective - result.best_bound) / std::fabs(result.objective) <=
+                       options_.relative_gap);
+    result.status = proven ? MipStatus::kOptimal : MipStatus::kFeasible;
+    if (proven) {
+      result.best_bound = result.objective;
+    }
+  } else if (sh.open.empty() && sh.nodes > 0 && !sh.hit_time_limit &&
+             sh.nodes < options_.max_nodes) {
     result.status = MipStatus::kInfeasible;
   } else {
     result.status = MipStatus::kNoSolutionFound;

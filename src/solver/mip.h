@@ -42,10 +42,18 @@ struct MipOptions {
   double integrality_tol = 1e-6;
   double absolute_gap = 1e-6;
   double relative_gap = 1e-6;
+  // Branch-and-bound worker threads. 1 (the default) runs the deterministic
+  // serial search. Higher values explore open nodes concurrently: each worker
+  // owns its own SimplexSolver (warm-started along its own node chain) and
+  // shares the open-node queue, incumbent, and node/time budgets. The
+  // returned incumbent can differ between runs (whichever worker improves it
+  // first wins ties), but any proven-optimal objective is the same.
+  int threads = 1;
   LpOptions lp;
   // When set, used instead of the built-in generic fix-and-solve rounding.
   // RAS installs an LP-guided greedy that understands the assignment
-  // structure (src/core/lp_rounding).
+  // structure (src/core/lp_rounding). Must be thread-safe when threads > 1;
+  // the LP-rounding heuristic is (it only reads its captured model state).
   MipHeuristic heuristic;
 };
 
@@ -55,6 +63,8 @@ struct MipResult {
   double objective = 0.0;     // Incumbent objective.
   double best_bound = 0.0;    // Proven lower bound on the optimum.
   int64_t nodes = 0;
+  // Simplex iterations summed over every node LP (all workers).
+  int64_t lp_iterations = 0;
   double solve_seconds = 0.0;
   bool hit_time_limit = false;
 
@@ -70,6 +80,9 @@ class MipSolver {
   MipResult Solve(const Model& model, const std::vector<double>* warm_start = nullptr);
 
  private:
+  MipResult SolveSerial(const Model& model, const std::vector<double>* warm_start);
+  MipResult SolveParallel(const Model& model, const std::vector<double>* warm_start);
+
   MipOptions options_;
 };
 

@@ -55,6 +55,59 @@ void Model::SetRowBounds(RowId row, double lb, double ub) {
 
 void Model::SetObjectiveCost(VarId var, double cost) { variables_[var].cost = cost; }
 
+CscMatrix Model::CompressedColumns() const {
+  CscMatrix csc;
+  const size_t n = variables_.size();
+  const size_t m = rows_.size();
+  std::vector<int32_t> counts(n, 0);
+  for (size_t r = 0; r < m; ++r) {
+    for (const RowEntry& e : entries_[r]) {
+      ++counts[static_cast<size_t>(e.var)];
+    }
+  }
+  csc.col_starts.assign(n + 1, 0);
+  for (size_t j = 0; j < n; ++j) {
+    csc.col_starts[j + 1] = csc.col_starts[j] + counts[j];
+  }
+  csc.rows.assign(static_cast<size_t>(csc.col_starts[n]), 0);
+  csc.values.assign(static_cast<size_t>(csc.col_starts[n]), 0.0);
+
+  // Fill in row order so rows are ascending per column; duplicates within a
+  // row land adjacently and are merged in place.
+  std::vector<int32_t> cursor(csc.col_starts.begin(), csc.col_starts.end() - 1);
+  for (size_t r = 0; r < m; ++r) {
+    for (const RowEntry& e : entries_[r]) {
+      size_t j = static_cast<size_t>(e.var);
+      int32_t& cur = cursor[j];
+      if (cur > csc.col_starts[j] &&
+          csc.rows[static_cast<size_t>(cur - 1)] == static_cast<int32_t>(r)) {
+        csc.values[static_cast<size_t>(cur - 1)] += e.coeff;
+      } else {
+        csc.rows[static_cast<size_t>(cur)] = static_cast<int32_t>(r);
+        csc.values[static_cast<size_t>(cur)] = e.coeff;
+        ++cur;
+      }
+    }
+  }
+
+  // Merging left gaps at the tail of columns that had duplicates; compact.
+  int32_t write = 0;
+  std::vector<int32_t> compact_starts(n + 1, 0);
+  for (size_t j = 0; j < n; ++j) {
+    compact_starts[j] = write;
+    for (int32_t k = csc.col_starts[j]; k < cursor[j]; ++k) {
+      csc.rows[static_cast<size_t>(write)] = csc.rows[static_cast<size_t>(k)];
+      csc.values[static_cast<size_t>(write)] = csc.values[static_cast<size_t>(k)];
+      ++write;
+    }
+  }
+  compact_starts[n] = write;
+  csc.col_starts = std::move(compact_starts);
+  csc.rows.resize(static_cast<size_t>(write));
+  csc.values.resize(static_cast<size_t>(write));
+  return csc;
+}
+
 double Model::Objective(const std::vector<double>& x) const {
   assert(x.size() == variables_.size());
   double obj = 0.0;

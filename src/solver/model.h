@@ -39,6 +39,19 @@ struct RowEntry {
   double coeff;
 };
 
+// Column-compressed (CSC) copy of the row-wise constraint matrix. Row indices
+// are ascending within each column and duplicate (row, var) pairs from
+// AddCoefficient are summed into a single entry — the canonical form consumed
+// by the simplex's sparse kernels.
+struct CscMatrix {
+  std::vector<int32_t> col_starts;  // Size num_cols() + 1.
+  std::vector<int32_t> rows;
+  std::vector<double> values;
+
+  size_t num_cols() const { return col_starts.empty() ? 0 : col_starts.size() - 1; }
+  size_t num_nonzeros() const { return rows.size(); }
+};
+
 class Model {
  public:
   VarId AddVariable(double lb, double ub, double cost, bool is_integer, std::string name = "");
@@ -66,6 +79,10 @@ class Model {
   const ModelRow& row(RowId r) const { return rows_[r]; }
   const std::vector<RowEntry>& row_entries(RowId r) const { return entries_[r]; }
   size_t num_integer_variables() const { return num_integers_; }
+
+  // Builds the column-major (CSC) form of the constraint matrix. Duplicate
+  // (row, var) pairs are summed; rows are ascending within each column.
+  CscMatrix CompressedColumns() const;
 
   // Evaluates the objective at a point.
   double Objective(const std::vector<double>& x) const;

@@ -28,29 +28,12 @@ void SimplexSolver::BuildColumns(const Model& model, const std::vector<BoundOver
   n_ = static_cast<int32_t>(model.num_variables());
   total_ = n_ + m_;
 
-  // Column-major structural matrix. Duplicate (row, var) entries are summed.
-  columns_.assign(n_, {});
-  std::vector<int32_t> col_sizes(n_, 0);
-  for (int32_t r = 0; r < m_; ++r) {
-    for (const RowEntry& e : model.row_entries(r)) {
-      ++col_sizes[e.var];
-    }
-  }
-  for (int32_t j = 0; j < n_; ++j) {
-    columns_[j].rows.reserve(col_sizes[j]);
-    columns_[j].values.reserve(col_sizes[j]);
-  }
-  for (int32_t r = 0; r < m_; ++r) {
-    for (const RowEntry& e : model.row_entries(r)) {
-      SparseColumn& col = columns_[e.var];
-      if (!col.rows.empty() && col.rows.back() == r) {
-        col.values.back() += e.coeff;  // Merge duplicates within a row.
-      } else {
-        col.rows.push_back(r);
-        col.values.push_back(e.coeff);
-      }
-    }
-  }
+  // Column-major structural matrix; duplicate (row, var) entries are summed
+  // by the CSC build.
+  CscMatrix csc = model.CompressedColumns();
+  csc_starts_ = std::move(csc.col_starts);
+  csc_rows_ = std::move(csc.rows);
+  csc_values_ = std::move(csc.values);
 
   lb_.resize(total_);
   ub_.resize(total_);
@@ -105,16 +88,15 @@ void SimplexSolver::InitializeBasis() {
 
 bool SimplexSolver::Refactorize() {
   // Dense Gauss-Jordan inversion of the basis matrix with partial pivoting.
-  // O(m^3); called every refactor_interval pivots to cap inverse drift.
+  // O(m^3); called periodically to cap inverse drift.
   std::vector<double> mat(static_cast<size_t>(m_) * m_, 0.0);
   for (int32_t pos = 0; pos < m_; ++pos) {
     int32_t col = basis_[pos];
     if (col >= n_) {
       mat[static_cast<size_t>(col - n_) * m_ + pos] = -1.0;  // Slack column -e_i.
     } else {
-      const SparseColumn& c = columns_[col];
-      for (size_t k = 0; k < c.rows.size(); ++k) {
-        mat[static_cast<size_t>(c.rows[k]) * m_ + pos] = c.values[k];
+      for (int32_t k = csc_starts_[col]; k < csc_starts_[col + 1]; ++k) {
+        mat[static_cast<size_t>(csc_rows_[k]) * m_ + pos] = csc_values_[k];
       }
     }
   }
@@ -180,10 +162,9 @@ void SimplexSolver::ComputeBasicValues() {
     if (status_[j] == ColStatus::kBasic || value_[j] == 0.0) {
       continue;
     }
-    const SparseColumn& c = columns_[j];
     double xj = value_[j];
-    for (size_t k = 0; k < c.rows.size(); ++k) {
-      r[c.rows[k]] -= c.values[k] * xj;
+    for (int32_t k = csc_starts_[j]; k < csc_starts_[j + 1]; ++k) {
+      r[csc_rows_[k]] -= csc_values_[k] * xj;
     }
   }
   for (int32_t i = 0; i < m_; ++i) {
@@ -202,7 +183,8 @@ void SimplexSolver::ComputeBasicValues() {
   }
 }
 
-void SimplexSolver::Ftran(int32_t col, std::vector<double>& alpha) const {
+void SimplexSolver::Ftran(int32_t col, std::vector<double>& alpha,
+                          std::vector<int32_t>* nz) const {
   // alpha = B^-1 * A_col.
   alpha.assign(m_, 0.0);
   if (col >= n_) {
@@ -210,14 +192,21 @@ void SimplexSolver::Ftran(int32_t col, std::vector<double>& alpha) const {
     for (int32_t pos = 0; pos < m_; ++pos) {
       alpha[pos] = -binv_[static_cast<size_t>(pos) * m_ + r];
     }
-    return;
+  } else {
+    for (int32_t k = csc_starts_[col]; k < csc_starts_[col + 1]; ++k) {
+      int32_t r = csc_rows_[k];
+      double v = csc_values_[k];
+      for (int32_t pos = 0; pos < m_; ++pos) {
+        alpha[pos] += binv_[static_cast<size_t>(pos) * m_ + r] * v;
+      }
+    }
   }
-  const SparseColumn& c = columns_[col];
-  for (size_t k = 0; k < c.rows.size(); ++k) {
-    int32_t r = c.rows[k];
-    double v = c.values[k];
+  if (nz != nullptr) {
+    nz->clear();
     for (int32_t pos = 0; pos < m_; ++pos) {
-      alpha[pos] += binv_[static_cast<size_t>(pos) * m_ + r] * v;
+      if (alpha[pos] != 0.0) {
+        nz->push_back(pos);
+      }
     }
   }
 }
@@ -332,16 +321,25 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
   LpResult result;
   const double ftol = options_.feasibility_tol;
   const double dtol = options_.optimality_tol;
+  const bool sparse = options_.use_sparse_kernels;
   int64_t max_iters = options_.max_iterations > 0
                           ? options_.max_iterations
                           : 200 + 40LL * (static_cast<int64_t>(m_) + total_);
 
-  std::vector<double> y(m_);       // Pricing duals.
-  std::vector<double> alpha(m_);   // FTRAN result.
-  std::vector<double> cb(m_);      // Basic costs for the current phase.
+  std::vector<double> y(m_);        // Pricing duals.
+  std::vector<double> alpha(m_);    // FTRAN result.
+  std::vector<int32_t> alpha_nz;    // FTRAN nonzero positions (sparse path).
+  alpha_nz.reserve(m_);
+  std::vector<double> cb(m_);       // Basic costs for the current phase.
+  std::vector<int32_t> candidates;  // Partial-pricing candidate list.
+  std::vector<std::pair<double, int32_t>> scored;  // Full-scan scratch.
+  bool refresh_candidates = true;
+  bool have_phase = false;
+  bool last_phase1 = false;
   int degenerate_run = 0;
   bool bland = false;
   int pivots_since_refactor = 0;
+  double eta_fill = 0.0;  // Nonzeros pushed through eta updates since refactor.
 
   int64_t iter = 0;
   for (; iter < max_iters; ++iter) {
@@ -354,6 +352,12 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
         phase1 = true;
         break;
       }
+    }
+    if (!have_phase || phase1 != last_phase1) {
+      // The phase objective changed; candidate reduced costs are stale.
+      refresh_candidates = true;
+      have_phase = true;
+      last_phase1 = phase1;
     }
 
     // --- Pricing: y = cB^T B^-1, then reduced costs per nonbasic column. ---
@@ -372,64 +376,146 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
         cb[pos] = cost_[col];
       }
     }
-    for (int32_t i = 0; i < m_; ++i) {
-      double sum = 0.0;
+    if (sparse) {
+      // BTRAN as row-axpy: skip every basic position with zero phase cost. In
+      // phase 2, most basic columns are zero-cost slacks/auxiliaries, so this
+      // is O(nnz(cb) * m) instead of O(m^2).
+      std::fill(y.begin(), y.end(), 0.0);
       for (int32_t pos = 0; pos < m_; ++pos) {
-        if (cb[pos] != 0.0) {
-          sum += cb[pos] * binv_[static_cast<size_t>(pos) * m_ + i];
+        double c = cb[pos];
+        if (c == 0.0) {
+          continue;
+        }
+        const double* row = &binv_[static_cast<size_t>(pos) * m_];
+        for (int32_t i = 0; i < m_; ++i) {
+          y[i] += c * row[i];
         }
       }
-      y[i] = sum;
+    } else {
+      for (int32_t i = 0; i < m_; ++i) {
+        double sum = 0.0;
+        for (int32_t pos = 0; pos < m_; ++pos) {
+          if (cb[pos] != 0.0) {
+            sum += cb[pos] * binv_[static_cast<size_t>(pos) * m_ + i];
+          }
+        }
+        y[i] = sum;
+      }
     }
 
-    int32_t entering = -1;
-    int entering_dir = 0;
-    double best_violation = dtol;
-    for (int32_t j = 0; j < total_; ++j) {
-      if (status_[j] == ColStatus::kBasic || lb_[j] == ub_[j]) {
-        continue;
-      }
+    // Reduced-cost pricing of one column: returns its violation (0 when not
+    // an improving direction) and the movement direction.
+    auto price = [&](int32_t j, int* dir) -> double {
       double cj = phase1 ? 0.0 : cost_[j];
       double yaj;
       if (j >= n_) {
         yaj = -y[j - n_];
       } else {
-        const SparseColumn& c = columns_[j];
         yaj = 0.0;
-        for (size_t k = 0; k < c.rows.size(); ++k) {
-          yaj += y[c.rows[k]] * c.values[k];
+        for (int32_t k = csc_starts_[j]; k < csc_starts_[j + 1]; ++k) {
+          yaj += y[csc_rows_[k]] * csc_values_[k];
         }
       }
       double d = cj - yaj;
-      int dir = 0;
-      double violation = 0.0;
+      *dir = 0;
       if (status_[j] == ColStatus::kAtLower && d < -dtol) {
-        dir = +1;
-        violation = -d;
-      } else if (status_[j] == ColStatus::kAtUpper && d > dtol) {
-        dir = -1;
-        violation = d;
-      } else if (status_[j] == ColStatus::kFree && std::fabs(d) > dtol) {
-        dir = d < 0 ? +1 : -1;
-        violation = std::fabs(d);
+        *dir = +1;
+        return -d;
       }
-      if (dir == 0) {
-        continue;
+      if (status_[j] == ColStatus::kAtUpper && d > dtol) {
+        *dir = -1;
+        return d;
       }
-      if (bland) {
-        entering = j;  // Bland: first eligible index.
-        entering_dir = dir;
-        break;
+      if (status_[j] == ColStatus::kFree && std::fabs(d) > dtol) {
+        *dir = d < 0 ? +1 : -1;
+        return std::fabs(d);
       }
-      if (violation > best_violation) {
-        best_violation = violation;
-        entering = j;
-        entering_dir = dir;
+      return 0.0;
+    };
+
+    int32_t entering = -1;
+    int entering_dir = 0;
+
+    auto full_scan = [&]() {
+      ++result.full_pricing_scans;
+      double best_violation = dtol;
+      scored.clear();
+      for (int32_t j = 0; j < total_; ++j) {
+        if (status_[j] == ColStatus::kBasic || lb_[j] == ub_[j]) {
+          continue;
+        }
+        int dir = 0;
+        double violation = price(j, &dir);
+        if (dir == 0) {
+          continue;
+        }
+        if (bland) {
+          entering = j;  // Bland: first eligible index.
+          entering_dir = dir;
+          return;
+        }
+        if (violation > best_violation) {
+          best_violation = violation;
+          entering = j;
+          entering_dir = dir;
+        }
+        if (sparse) {
+          scored.push_back({violation, j});
+        }
+      }
+      if (sparse && !bland) {
+        // Keep the most violated columns as the next candidate list.
+        size_t keep = std::min(scored.size(),
+                               static_cast<size_t>(std::max(1, options_.pricing_candidates)));
+        std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                          [](const auto& a, const auto& b) { return a.first > b.first; });
+        candidates.clear();
+        for (size_t k = 0; k < keep; ++k) {
+          candidates.push_back(scored[k].second);
+        }
+      }
+    };
+
+    if (!sparse || bland) {
+      full_scan();
+    } else if (refresh_candidates || candidates.empty() ||
+               (options_.pricing_refresh_interval > 0 &&
+                iter % options_.pricing_refresh_interval == 0)) {
+      full_scan();
+      refresh_candidates = false;
+    } else {
+      // Partial pricing: re-price only the candidate list, dropping entries
+      // that stopped being improving directions.
+      double best_violation = dtol;
+      size_t w = 0;
+      for (int32_t j : candidates) {
+        if (status_[j] == ColStatus::kBasic || lb_[j] == ub_[j]) {
+          continue;
+        }
+        int dir = 0;
+        double violation = price(j, &dir);
+        if (dir == 0) {
+          continue;
+        }
+        candidates[w++] = j;
+        if (violation > best_violation) {
+          best_violation = violation;
+          entering = j;
+          entering_dir = dir;
+        }
+      }
+      candidates.resize(w);
+      if (entering < 0) {
+        // Candidates exhausted; only a full scan may declare optimality.
+        full_scan();
+        refresh_candidates = false;
       }
     }
 
     if (entering < 0) {
-      // No improving direction for the current phase objective.
+      // No improving direction for the current phase objective. On the sparse
+      // path this is only ever reached after a full scan, so the optimality /
+      // infeasibility claim has the same strength as the dense reference.
       if (phase1) {
         result.status = LpStatus::kInfeasible;
         result.iterations = iter;
@@ -438,7 +524,7 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
       break;  // Optimal.
     }
 
-    Ftran(entering, alpha);
+    Ftran(entering, alpha, sparse ? &alpha_nz : nullptr);
 
     // --- Ratio test. Basic k changes at rate -dir * alpha_k per unit of the
     // entering variable's movement. In phase 1, an infeasible basic blocks
@@ -448,10 +534,10 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
     int32_t leaving_pos = -1;
     double leaving_target = 0.0;
     double best_pivot_mag = 0.0;
-    for (int32_t pos = 0; pos < m_; ++pos) {
+    auto ratio_test = [&](int32_t pos) {
       double a = alpha[pos];
       if (std::fabs(a) < options_.pivot_tol) {
-        continue;
+        return;
       }
       double rate = -static_cast<double>(entering_dir) * a;
       int32_t col = basis_[pos];
@@ -463,21 +549,21 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
         if (below) {
           target = lb_[col];
         } else if (above) {
-          continue;  // Moving further above; linear phase-1 cost, no breakpoint.
+          return;  // Moving further above; linear phase-1 cost, no breakpoint.
         } else if (std::isfinite(ub_[col])) {
           target = ub_[col];
         } else {
-          continue;
+          return;
         }
       } else {
         if (above) {
           target = ub_[col];
         } else if (below) {
-          continue;
+          return;
         } else if (std::isfinite(lb_[col])) {
           target = lb_[col];
         } else {
-          continue;
+          return;
         }
       }
       double step = (target - x) / rate;
@@ -490,6 +576,15 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
         leaving_pos = pos;
         leaving_target = target;
         best_pivot_mag = std::fabs(a);
+      }
+    };
+    if (sparse) {
+      for (int32_t pos : alpha_nz) {
+        ratio_test(pos);
+      }
+    } else {
+      for (int32_t pos = 0; pos < m_; ++pos) {
+        ratio_test(pos);
       }
     }
 
@@ -521,9 +616,15 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
     // --- Apply the move. ---
     double delta = static_cast<double>(entering_dir) * step;
     if (delta != 0.0) {
-      for (int32_t pos = 0; pos < m_; ++pos) {
-        if (alpha[pos] != 0.0) {
+      if (sparse) {
+        for (int32_t pos : alpha_nz) {
           value_[basis_[pos]] -= alpha[pos] * delta;
+        }
+      } else {
+        for (int32_t pos = 0; pos < m_; ++pos) {
+          if (alpha[pos] != 0.0) {
+            value_[basis_[pos]] -= alpha[pos] * delta;
+          }
         }
       }
       value_[entering] += delta;
@@ -556,19 +657,58 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
     for (int32_t i = 0; i < m_; ++i) {
       pivot_row[i] *= inv_pivot;
     }
-    for (int32_t pos = 0; pos < m_; ++pos) {
-      if (pos == leaving_pos || alpha[pos] == 0.0) {
-        continue;
+    if (sparse) {
+      for (int32_t pos : alpha_nz) {
+        if (pos == leaving_pos) {
+          continue;
+        }
+        double factor = alpha[pos];
+        double* row = &binv_[static_cast<size_t>(pos) * m_];
+        for (int32_t i = 0; i < m_; ++i) {
+          row[i] -= factor * pivot_row[i];
+        }
       }
-      double factor = alpha[pos];
-      double* row = &binv_[static_cast<size_t>(pos) * m_];
-      for (int32_t i = 0; i < m_; ++i) {
-        row[i] -= factor * pivot_row[i];
+      eta_fill += static_cast<double>(alpha_nz.size());
+      result.eta_nonzeros += static_cast<int64_t>(alpha_nz.size());
+    } else {
+      int64_t touched = 0;
+      for (int32_t pos = 0; pos < m_; ++pos) {
+        if (pos == leaving_pos || alpha[pos] == 0.0) {
+          continue;
+        }
+        double factor = alpha[pos];
+        double* row = &binv_[static_cast<size_t>(pos) * m_];
+        for (int32_t i = 0; i < m_; ++i) {
+          row[i] -= factor * pivot_row[i];
+        }
+        ++touched;
       }
+      eta_fill += static_cast<double>(touched + 1);
+      result.eta_nonzeros += touched + 1;
     }
 
-    if (++pivots_since_refactor >= options_.refactor_interval) {
+    bool need_refactor = ++pivots_since_refactor >= options_.refactor_interval;
+    bool adaptive = false;
+    if (sparse && !need_refactor) {
+      // Adaptive cadence: refactor early once the accumulated eta fill-in
+      // rivals the O(m^2) of a rebuild's payoff, or when a small pivot
+      // (relative to its column) signals the inverse is drifting.
+      if (eta_fill > options_.eta_growth_limit * static_cast<double>(m_)) {
+        need_refactor = true;
+        adaptive = true;
+      } else if (std::fabs(pivot) <
+                 options_.drift_refactor_tol * (1.0 + best_pivot_mag)) {
+        need_refactor = true;
+        adaptive = true;
+      }
+    }
+    if (need_refactor) {
       pivots_since_refactor = 0;
+      eta_fill = 0.0;
+      ++result.refactorizations;
+      if (adaptive) {
+        ++result.adaptive_refactorizations;
+      }
       if (!Refactorize()) {
         result.status = LpStatus::kNumericalFailure;
         result.iterations = iter;
@@ -586,6 +726,7 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
 
   // Clean pass: refactorize and recompute values to wash out inverse drift,
   // then verify primal feasibility of the claimed optimum.
+  ++result.refactorizations;
   if (!Refactorize()) {
     result.status = LpStatus::kNumericalFailure;
     result.iterations = iter;
@@ -605,17 +746,18 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
     result.x[j] = value_[j];
   }
   result.objective = model.Objective(result.x);
-  // Final duals priced with the true costs.
+  // Final duals priced with the true costs (row-axpy; cost_ is sparse over
+  // the basis in both kernel modes).
   result.duals.assign(m_, 0.0);
-  for (int32_t i = 0; i < m_; ++i) {
-    double sum = 0.0;
-    for (int32_t pos = 0; pos < m_; ++pos) {
-      double c = cost_[basis_[pos]];
-      if (c != 0.0) {
-        sum += c * binv_[static_cast<size_t>(pos) * m_ + i];
-      }
+  for (int32_t pos = 0; pos < m_; ++pos) {
+    double c = cost_[basis_[pos]];
+    if (c == 0.0) {
+      continue;
     }
-    result.duals[i] = sum;
+    const double* row = &binv_[static_cast<size_t>(pos) * m_];
+    for (int32_t i = 0; i < m_; ++i) {
+      result.duals[i] += c * row[i];
+    }
   }
   return result;
 }

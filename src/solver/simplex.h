@@ -42,6 +42,26 @@ struct LpOptions {
   int refactor_interval = 256;
   // Consecutive degenerate pivots before switching to Bland's rule.
   int bland_trigger = 60;
+
+  // Sparse kernel path (the default): CSC column storage, zero-skipping
+  // BTRAN/eta updates, partial pricing over a candidate list, and adaptive
+  // refactorization. `false` selects the original dense reference
+  // implementation: full Dantzig pricing every iteration and a fixed
+  // refactor_interval cadence.
+  bool use_sparse_kernels = true;
+  // Partial pricing: size of the candidate list kept from each full scan.
+  int pricing_candidates = 64;
+  // Periodic full Dantzig scan cadence (iterations); keeps the candidate list
+  // from going stale. Optimality is only ever declared after a full scan, so
+  // this is a quality knob, not a correctness one. <= 0 disables the refresh.
+  int pricing_refresh_interval = 100;
+  // Adaptive refactorization (sparse path): rebuild the inverse early when the
+  // accumulated product-form eta nonzeros exceed eta_growth_limit * m —
+  // product-form updates smear numerical dust through the inverse, densifying
+  // every later FTRAN — or when a pivot magnitude falls below
+  // drift_refactor_tol relative to its column, a numerical-drift red flag.
+  double eta_growth_limit = 8.0;
+  double drift_refactor_tol = 1e-8;
 };
 
 struct LpResult {
@@ -52,6 +72,17 @@ struct LpResult {
   int64_t iterations = 0;
   // Duals (one per row) from the final pricing pass; valid when optimal.
   std::vector<double> duals;
+
+  // --- Kernel instrumentation (reset every solve) ---
+  // Basis inverse rebuilds, total and the subset forced by numerical drift
+  // or eta fill-in rather than the fixed pivot cadence.
+  int refactorizations = 0;
+  int adaptive_refactorizations = 0;
+  // Accumulated nonzeros pushed through product-form eta updates.
+  int64_t eta_nonzeros = 0;
+  // Full Dantzig pricing scans (every iteration on the dense path; only
+  // refresh/verification scans under partial pricing).
+  int64_t full_pricing_scans = 0;
 };
 
 // Overrides for variable bounds, used by branch-and-bound to tighten integer
@@ -82,11 +113,6 @@ class SimplexSolver {
  private:
   enum class ColStatus : uint8_t { kBasic, kAtLower, kAtUpper, kFree };
 
-  struct SparseColumn {
-    std::vector<int32_t> rows;
-    std::vector<double> values;
-  };
-
   // --- One solve's working state ---
   void BuildColumns(const Model& model, const std::vector<BoundOverride>& overrides);
   // Refreshes lb_/ub_/cost_ from the model + overrides without rebuilding
@@ -95,7 +121,10 @@ class SimplexSolver {
   void InitializeBasis();
   bool Refactorize();  // Rebuilds binv_ from basis_; false if singular.
   void ComputeBasicValues();
-  void Ftran(int32_t col, std::vector<double>& alpha) const;
+  // alpha = B^-1 A_col. When `nz` is non-null it receives the positions of
+  // the nonzero entries (the sparse path's ratio test and eta update iterate
+  // this list instead of scanning all m rows).
+  void Ftran(int32_t col, std::vector<double>& alpha, std::vector<int32_t>* nz = nullptr) const;
   double TotalInfeasibility() const;
 
   LpResult RunSimplex(const Model& model);
@@ -107,7 +136,12 @@ class SimplexSolver {
   int32_t n_ = 0;
   int32_t total_ = 0;
 
-  std::vector<SparseColumn> columns_;  // Structural columns only; slacks implicit.
+  // Structural columns in CSC form (slacks implicit): column j's nonzeros
+  // live in csc_rows_/csc_values_[csc_starts_[j] .. csc_starts_[j+1]).
+  std::vector<int32_t> csc_starts_;
+  std::vector<int32_t> csc_rows_;
+  std::vector<double> csc_values_;
+
   std::vector<double> lb_;             // Per column (structural + slack).
   std::vector<double> ub_;
   std::vector<double> cost_;  // True objective costs (slacks: 0).

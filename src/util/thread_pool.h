@@ -1,0 +1,55 @@
+// Small joinable thread pool.
+//
+// Fixed worker count, FIFO task queue, and a Wait() barrier that blocks until
+// every submitted task has finished. Used by the parallel branch-and-bound
+// (src/solver/mip): the MIP submits one long-running worker loop per thread
+// and the workers coordinate over their own shared node queue, so the pool
+// only needs to guarantee that all submitted tasks run concurrently when
+// their count does not exceed the pool size.
+
+#ifndef RAS_SRC_UTIL_THREAD_POOL_H_
+#define RAS_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ras {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  // Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not call Submit/Wait on their own pool's
+  // destructor path; submitting from within a task is allowed.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // Signals workers: task available / shutdown.
+  std::condition_variable idle_cv_;  // Signals Wait(): queue drained and idle.
+  int running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ras
+
+#endif  // RAS_SRC_UTIL_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/solver/simplex.h"
+
 namespace ras {
 namespace {
 
@@ -63,6 +65,82 @@ TEST(ModelTest, FeasibilityChecksBoundsRowsIntegrality) {
   EXPECT_FALSE(m.IsFeasible({0.0, 1.0}, 1e-6));   // Row below lb.
   EXPECT_FALSE(m.IsFeasible({5.0, 5.0}, 1e-6));   // Row above ub.
   EXPECT_FALSE(m.IsFeasible({1.0}, 1e-6));        // Wrong arity.
+}
+
+TEST(ModelTest, CompressedColumnsMatchesRowEntries) {
+  Model m;
+  VarId x = m.AddContinuous(0, 1, 0);
+  VarId y = m.AddContinuous(0, 1, 0);
+  VarId z = m.AddContinuous(0, 1, 0);
+  RowId r0 = m.AddRow(0, 1);
+  RowId r1 = m.AddRow(0, 1);
+  // Deliberately out of row order within columns: CSC must sort ascending.
+  m.AddCoefficient(r1, x, 2.0);
+  m.AddCoefficient(r0, x, 1.0);
+  m.AddCoefficient(r1, z, 5.0);
+  m.AddCoefficient(r0, y, 3.0);
+
+  CscMatrix csc = m.CompressedColumns();
+  EXPECT_EQ(csc.num_cols(), 3u);
+  EXPECT_EQ(csc.num_nonzeros(), 4u);
+  ASSERT_EQ(csc.col_starts.size(), 4u);
+  // Column x: rows 0 and 1, ascending.
+  ASSERT_EQ(csc.col_starts[x + 1] - csc.col_starts[x], 2);
+  EXPECT_EQ(csc.rows[csc.col_starts[x]], r0);
+  EXPECT_DOUBLE_EQ(csc.values[csc.col_starts[x]], 1.0);
+  EXPECT_EQ(csc.rows[csc.col_starts[x] + 1], r1);
+  EXPECT_DOUBLE_EQ(csc.values[csc.col_starts[x] + 1], 2.0);
+  // Column y: single entry in row 0.
+  ASSERT_EQ(csc.col_starts[y + 1] - csc.col_starts[y], 1);
+  EXPECT_EQ(csc.rows[csc.col_starts[y]], r0);
+  EXPECT_DOUBLE_EQ(csc.values[csc.col_starts[y]], 3.0);
+  // Column z: single entry in row 1.
+  ASSERT_EQ(csc.col_starts[z + 1] - csc.col_starts[z], 1);
+  EXPECT_EQ(csc.rows[csc.col_starts[z]], r1);
+  EXPECT_DOUBLE_EQ(csc.values[csc.col_starts[z]], 5.0);
+}
+
+TEST(ModelTest, CompressedColumnsSumsDuplicatePairs) {
+  Model m;
+  VarId x = m.AddContinuous(0, 1, 0);
+  VarId y = m.AddContinuous(0, 1, 0);
+  RowId r = m.AddRow(0, 10);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 4.0);
+  m.AddCoefficient(r, x, 2.5);  // Duplicate (r, x): must merge to 3.5.
+  m.AddCoefficient(r, x, -0.5);
+
+  CscMatrix csc = m.CompressedColumns();
+  ASSERT_EQ(csc.num_nonzeros(), 2u);
+  ASSERT_EQ(csc.col_starts[x + 1] - csc.col_starts[x], 1);
+  EXPECT_DOUBLE_EQ(csc.values[csc.col_starts[x]], 3.0);
+  EXPECT_DOUBLE_EQ(csc.values[csc.col_starts[y]], 4.0);
+}
+
+TEST(ModelTest, DuplicateCoefficientsSolveIdenticallyDenseAndSparse) {
+  // min -x - y  s.t.  (1+1)x + y <= 4, y <= 2, with the x coefficient split
+  // across two AddCoefficient calls. Dense and CSC paths must both see the
+  // merged coefficient: optimum at x = 1, y = 2.
+  auto build = [] {
+    Model m;
+    VarId x = m.AddContinuous(0, 10, -1.0);
+    VarId y = m.AddContinuous(0, 2, -1.0);
+    RowId r = m.AddRow(-kInf, 4);
+    m.AddCoefficient(r, x, 1.0);
+    m.AddCoefficient(r, y, 1.0);
+    m.AddCoefficient(r, x, 1.0);  // Duplicate pair; row reads 2x + y <= 4.
+    return m;
+  };
+  Model m = build();
+  for (bool sparse : {false, true}) {
+    LpOptions options;
+    options.use_sparse_kernels = sparse;
+    LpResult result = SimplexSolver(options).Solve(m);
+    ASSERT_EQ(result.status, LpStatus::kOptimal) << "sparse=" << sparse;
+    EXPECT_NEAR(result.x[0], 1.0, 1e-9) << "sparse=" << sparse;
+    EXPECT_NEAR(result.x[1], 2.0, 1e-9) << "sparse=" << sparse;
+    EXPECT_NEAR(result.objective, -3.0, 1e-9) << "sparse=" << sparse;
+  }
 }
 
 TEST(ModelTest, MemoryBytesGrowsWithSize) {
