@@ -12,8 +12,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include <sys/utsname.h>
 
 namespace ras {
 namespace bench {
@@ -74,10 +77,15 @@ class JsonRecord {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-// Accumulates records and writes `{"bench": ..., "records": [...]}`.
+// Accumulates records and writes
+// `{"bench": ..., <meta fields>, "records": [...]}`.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  // Top-level fields alongside "bench" — the shared schema (host, threads,
+  // build) lives here so every BENCH_*.json is mechanically comparable.
+  JsonRecord& Meta() { return meta_; }
 
   JsonRecord& AddRecord() {
     records_.emplace_back();
@@ -91,7 +99,12 @@ class BenchJsonWriter {
       std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", bench_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    std::string meta = meta_.ToString();
+    if (meta.size() > 2) {  // More than the empty "{}".
+      std::fprintf(f, "  %s,\n", std::string(meta.begin() + 1, meta.end() - 1).c_str());
+    }
+    std::fprintf(f, "  \"records\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "    %s%s\n", records_[i].ToString().c_str(),
                    i + 1 < records_.size() ? "," : "");
@@ -103,8 +116,51 @@ class BenchJsonWriter {
 
  private:
   std::string bench_;
+  JsonRecord meta_;
   std::vector<JsonRecord> records_;
 };
+
+// --- Shared schema, used by every trajectory bench ---
+
+// Host, thread, and build-type fields common to every BENCH_*.json.
+inline void AddStandardMeta(BenchJsonWriter& writer) {
+  struct utsname un;
+  const char* host = "unknown";
+  const char* machine = "unknown";
+  if (uname(&un) == 0) {
+    host = un.nodename;
+    machine = un.machine;
+  }
+  writer.Meta()
+      .Set("host", host)
+      .Set("machine", machine)
+      .Set("hardware_threads", static_cast<int64_t>(std::thread::hardware_concurrency()))
+#ifdef NDEBUG
+      .Set("build", "release");
+#else
+      .Set("build", "debug");
+#endif
+}
+
+// The uniform determinism record: every trajectory bench re-runs its
+// reference configuration and reports whether the outputs matched bitwise.
+inline void AddDeterminismRecord(BenchJsonWriter& writer, const char* config,
+                                 bool deterministic) {
+  writer.AddRecord()
+      .Set("config", std::string("determinism-check-") + config)
+      .Set("deterministic", deterministic);
+}
+
+// Default output location: the repo root (RAS_BENCH_OUTPUT_DIR is injected
+// by bench/CMakeLists.txt as CMAKE_SOURCE_DIR), so successive runs
+// accumulate BENCH_*.json next to each other regardless of the build dir the
+// binary runs from. An explicit CLI path still overrides.
+#ifndef RAS_BENCH_OUTPUT_DIR
+#define RAS_BENCH_OUTPUT_DIR "."
+#endif
+inline std::string DefaultOutputPath(const char* filename) {
+  return std::string(RAS_BENCH_OUTPUT_DIR) + "/" + filename;
+}
 
 }  // namespace bench
 }  // namespace ras

@@ -87,7 +87,7 @@ ConfigResult RunConfig(const std::vector<Workload*>& workloads, const SolverConf
 
 int main(int argc, char** argv) {
   bool small = false;
-  std::string out_path = "BENCH_solver.json";
+  std::string out_path = DefaultOutputPath("BENCH_solver.json");
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "small") == 0) {
       small = true;
@@ -160,6 +160,7 @@ int main(int argc, char** argv) {
   };
 
   BenchJsonWriter json("solver_scaling");
+  AddStandardMeta(json);
   std::printf("\n%-12s %10s %12s %8s %12s %10s %9s\n", "config", "wall_s", "lp_iters",
               "nodes", "objective", "gap", "speedup");
   double dense_wall = 0.0;
@@ -197,10 +198,7 @@ int main(int argc, char** argv) {
   bool deterministic = d1.first_x == d2.first_x;
   std::printf("\nthreads=1 determinism (bitwise, repeated run): %s\n",
               deterministic ? "OK" : "MISMATCH");
-  json.AddRecord()
-      .Set("config", "determinism-check")
-      .Set("threads", 1)
-      .Set("deterministic", deterministic);
+  AddDeterminismRecord(json, "sparse-serial", deterministic);
 
   if (!json.WriteFile(out_path)) {
     return 1;

@@ -10,6 +10,10 @@
 #include "src/core/initial_assignment.h"
 #include "src/core/local_search.h"
 #include "src/core/lp_rounding.h"
+#include "src/shard/demand_splitter.h"
+#include "src/shard/shard_planner.h"
+#include "src/shard/shard_solve.h"
+#include "src/shard/stitch_repair.h"
 #include "src/util/logging.h"
 
 namespace ras {
@@ -205,6 +209,16 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
       return injected;
     }
   }
+
+  // Shard decomposition (src/shard): K > 1 partitions the region and solves
+  // the shards independently. shard_count == 1 resolves to 1 and falls
+  // through to the monolithic path below, bit-for-bit unchanged.
+  const int shards = EffectiveShardCount(config_.shard_count, input.servers.size(),
+                                         input.topology->num_racks());
+  if (shards > 1) {
+    return SolveSharded(input, decoded_out, mode, shards);
+  }
+
   double start = Now();
   SolveStats stats;
 
@@ -350,6 +364,74 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
 
   if (decoded_out != nullptr) {
     decoded_out->targets = std::move(final_targets);
+    decoded_out->moves_total = stats.moves_total;
+    decoded_out->moves_in_use = stats.moves_in_use;
+    decoded_out->moves_idle = stats.moves_idle;
+  }
+  return stats;
+}
+
+Result<SolveStats> AsyncSolver::SolveSharded(const SolveInput& input,
+                                             DecodedAssignment* decoded_out, SolveMode mode,
+                                             int shard_count) {
+  double start = Now();
+  ShardPlanOptions plan_options;
+  plan_options.shard_count = shard_count;
+  plan_options.seed = config_.shard_seed;
+  ShardPlan plan = PlanShards(*input.topology, plan_options);
+  ShardDemand demand = SplitDemand(input, plan);
+
+  // Each shard runs this solver's monolithic path on its sub-input.
+  // shard_count = 1 terminates the recursion; solver_threads = 1 keeps every
+  // per-shard solve serial and deterministic — the shards themselves are the
+  // parallelism axis.
+  SolverConfig sub_config = config_;
+  sub_config.shard_count = 1;
+  sub_config.solver_threads = 1;
+  ShardSolveFn solve_shard = [&sub_config, mode](const SolveInput& shard_input,
+                                                 DecodedAssignment* decoded) {
+    AsyncSolver shard_solver(sub_config);
+    return shard_solver.SolveSnapshot(shard_input, decoded, mode);
+  };
+  ShardSolveOptions solve_options;
+  solve_options.threads = config_.shard_threads;
+  ShardSolveOutcome outcome = SolveShards(input, plan, demand, solve_shard, solve_options);
+  if (!outcome.status.ok()) {
+    return outcome.status;
+  }
+  if (outcome.aggregate.failed_shards > 0) {
+    RAS_LOG(kWarning) << outcome.aggregate.failed_shards << "/" << shard_count
+                      << " shards failed; their servers keep snapshot bindings pending repair";
+  }
+
+  SolveStats stats = outcome.aggregate;
+  stats.shard_count = shard_count;
+
+  // Stitch repair: rounding losses and shard-local infeasibilities are fixed
+  // region-wide, across shard boundaries.
+  StitchRepairOptions repair_options;
+  repair_options.max_moves = config_.shard_repair_max_moves;
+  // Spread rebalance uses the same Ψ_F threshold the model charges beta
+  // against, so repair moves pay down exactly the penalty the merge created.
+  repair_options.msb_spread_fraction =
+      config_.msb_alpha_factor / static_cast<double>(input.topology->num_msbs());
+  repair_options.min_spread_threshold_rru = config_.min_spread_threshold_rru;
+  StitchRepairStats repair = RepairShortfalls(input, outcome.merged.targets, repair_options);
+  stats.repair_moves = repair.moves();
+  stats.repair_shortfall_before_rru = repair.shortfall_before_rru;
+
+  for (const auto& [server, res] : outcome.merged.targets) {
+    const ServerSolveState& before = input.servers[server];
+    if (before.current != res) {
+      ++stats.moves_total;
+      (before.in_use ? stats.moves_in_use : stats.moves_idle)++;
+    }
+  }
+  stats.total_shortfall_rru = ComputeShortfall(input, outcome.merged.targets);
+  stats.total_seconds = Now() - start;
+
+  if (decoded_out != nullptr) {
+    decoded_out->targets = std::move(outcome.merged.targets);
     decoded_out->moves_total = stats.moves_total;
     decoded_out->moves_in_use = stats.moves_in_use;
     decoded_out->moves_idle = stats.moves_idle;

@@ -69,6 +69,13 @@ struct SolveStats {
   // Capacity shortfall (softened-constraint residue) after the solve, RRUs.
   double total_shortfall_rru = 0.0;
   double total_seconds = 0.0;
+
+  // Shard decomposition accounting (src/shard). shard_count == 1 is the
+  // monolithic solve; then the fields below stay zero.
+  int shard_count = 1;
+  size_t failed_shards = 0;
+  size_t repair_moves = 0;
+  double repair_shortfall_before_rru = 0.0;
 };
 
 class AsyncSolver {
@@ -99,6 +106,13 @@ class AsyncSolver {
   void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:
+  // Shard-decomposed solve (src/shard): plan -> split -> per-shard solves ->
+  // merge -> stitch repair. Entered from SolveSnapshot when the configured
+  // shard count resolves to K > 1; each shard runs this solver's monolithic
+  // path on its sub-input.
+  Result<SolveStats> SolveSharded(const SolveInput& input, DecodedAssignment* decoded_out,
+                                  SolveMode mode, int shard_count);
+
   // Runs one phase over the given classes; returns the decoded assignment.
   struct PhaseOutcome {
     PhaseStats stats;

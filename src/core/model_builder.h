@@ -76,6 +76,20 @@ struct SolverConfig {
   double phase2_reservation_percent = 10.0;
   size_t phase2_max_assignment_vars = 200000;
 
+  // --- Shard decomposition (src/shard, paper §3.5.2) ---
+  // 1 (default) runs the monolithic region-wide solve, bit-for-bit the
+  // pre-shard path. K > 1 partitions the region into K rack-complete shards
+  // (seeded, deterministic), splits every reservation's demand across them
+  // proportionally to usable capacity, solves the shards independently, and
+  // stitches the results with a bounded cross-shard repair. 0 picks K
+  // automatically from the fleet size (AutoShardCount).
+  int shard_count = 1;
+  uint64_t shard_seed = 0x5A2D;
+  // Fan-out threads for the shard solves; 0 = min(K, hardware concurrency).
+  int shard_threads = 0;
+  // Move budget for the post-merge StitchRepair pass.
+  size_t shard_repair_max_moves = 2000;
+
   // Branch-and-bound workers for both MIP phases (MipOptions::threads).
   // 1 = the deterministic serial solver; the SolverSupervisor also drops back
   // to 1 on degraded ladder rungs so retries after a failure are

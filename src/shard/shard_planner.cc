@@ -1,0 +1,79 @@
+#include "src/shard/shard_planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/util/rng.h"
+
+namespace ras {
+
+int AutoShardCount(size_t num_servers, size_t target_servers_per_shard, int max_shards) {
+  if (target_servers_per_shard == 0) {
+    return 1;
+  }
+  if (num_servers < 2 * target_servers_per_shard) {
+    return 1;
+  }
+  size_t k = (num_servers + target_servers_per_shard - 1) / target_servers_per_shard;
+  return static_cast<int>(std::min<size_t>(k, static_cast<size_t>(std::max(1, max_shards))));
+}
+
+int EffectiveShardCount(int configured, size_t num_servers, size_t num_racks) {
+  int k = configured == 0 ? AutoShardCount(num_servers) : std::max(1, configured);
+  return static_cast<int>(std::min<size_t>(static_cast<size_t>(k), std::max<size_t>(1, num_racks)));
+}
+
+ShardPlan PlanShards(const RegionTopology& topology, const ShardPlanOptions& options) {
+  assert(topology.finalized());
+  ShardPlan plan;
+  plan.seed = options.seed;
+  plan.shard_count = EffectiveShardCount(std::max(1, options.shard_count),
+                                         topology.num_servers(), topology.num_racks());
+  plan.shard_of_rack.assign(topology.num_racks(), 0);
+  plan.shard_of_server.assign(topology.num_servers(), 0);
+  plan.servers.assign(static_cast<size_t>(plan.shard_count), {});
+
+  // Stratified random sampling: racks are shuffled *within each MSB* and each
+  // rack then lands on the currently smallest shard (ties -> lowest index).
+  // Dealing MSB by MSB means every shard draws racks from every MSB (when the
+  // MSB has at least K racks), so a shard's Ψ_F spread and buffer terms stay
+  // meaningful against its demand share; the least-loaded rule keeps shard
+  // sizes balanced to within one rack regardless of rack raggedness.
+  std::vector<std::vector<RackId>> racks_by_msb(topology.num_msbs());
+  for (RackId rack = 0; rack < topology.num_racks(); ++rack) {
+    racks_by_msb[topology.rack_msb(rack)].push_back(rack);
+  }
+  Rng rng(options.seed);
+  std::vector<size_t> load(static_cast<size_t>(plan.shard_count), 0);
+  for (auto& racks : racks_by_msb) {
+    rng.Shuffle(racks);
+    for (RackId rack : racks) {
+      int best = 0;
+      for (int k = 1; k < plan.shard_count; ++k) {
+        if (load[static_cast<size_t>(k)] < load[static_cast<size_t>(best)]) {
+          best = k;
+        }
+      }
+      plan.shard_of_rack[rack] = best;
+      load[static_cast<size_t>(best)] += topology.ServersInRack(rack).size();
+    }
+  }
+
+  // Server ids ascend within a rack and racks are visited in id order here,
+  // so each shard's server list comes out ascending — deterministic merge
+  // order downstream.
+  for (RackId rack = 0; rack < topology.num_racks(); ++rack) {
+    int shard = plan.shard_of_rack[rack];
+    for (ServerId id : topology.ServersInRack(rack)) {
+      plan.shard_of_server[id] = shard;
+      plan.servers[static_cast<size_t>(shard)].push_back(id);
+    }
+  }
+  for (auto& list : plan.servers) {
+    std::sort(list.begin(), list.end());
+  }
+  return plan;
+}
+
+}  // namespace ras

@@ -1,0 +1,142 @@
+// Shard planner: rack-complete, balanced, deterministic partitions.
+
+#include "src/shard/shard_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/fleet/fleet_gen.h"
+
+namespace ras {
+namespace {
+
+Fleet TestFleet(uint64_t seed = 21) {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 3;
+  opts.racks_per_msb = 6;
+  opts.servers_per_rack = 8;
+  opts.seed = seed;
+  return GenerateFleet(opts);  // 288 servers, 36 racks.
+}
+
+TEST(ShardPlannerTest, RackCompleteAndCoversEveryServer) {
+  Fleet fleet = TestFleet();
+  ShardPlanOptions opts;
+  opts.shard_count = 4;
+  ShardPlan plan = PlanShards(fleet.topology, opts);
+  ASSERT_EQ(plan.shard_count, 4);
+
+  // Every rack's servers land in exactly the rack's shard.
+  for (RackId rack = 0; rack < fleet.topology.num_racks(); ++rack) {
+    for (ServerId id : fleet.topology.ServersInRack(rack)) {
+      EXPECT_EQ(plan.shard_of_server[id], plan.shard_of_rack[rack]);
+    }
+  }
+
+  // The shard server lists partition the fleet: disjoint and complete.
+  std::set<ServerId> seen;
+  size_t total = 0;
+  for (const auto& shard : plan.servers) {
+    EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+    for (ServerId id : shard) {
+      EXPECT_TRUE(seen.insert(id).second) << "server " << id << " in two shards";
+    }
+    total += shard.size();
+  }
+  EXPECT_EQ(total, fleet.topology.num_servers());
+}
+
+TEST(ShardPlannerTest, BalancedWithinOneRack) {
+  Fleet fleet = TestFleet();
+  ShardPlanOptions opts;
+  opts.shard_count = 4;
+  ShardPlan plan = PlanShards(fleet.topology, opts);
+  size_t min_size = fleet.topology.num_servers();
+  size_t max_size = 0;
+  for (const auto& shard : plan.servers) {
+    min_size = std::min(min_size, shard.size());
+    max_size = std::max(max_size, shard.size());
+  }
+  // Homogeneous 8-server racks: shard sizes differ by at most one rack.
+  EXPECT_LE(max_size - min_size, 8u);
+}
+
+TEST(ShardPlannerTest, EveryShardSamplesEveryMsb) {
+  // Stratified dealing: with racks_per_msb >= K, every shard draws at least
+  // one rack from every MSB, so per-shard Ψ_F spread and buffer terms see
+  // the full fault-domain structure.
+  Fleet fleet = TestFleet();
+  for (int k : {2, 4, 6}) {
+    ShardPlanOptions opts;
+    opts.shard_count = k;
+    ShardPlan plan = PlanShards(fleet.topology, opts);
+    std::vector<std::set<MsbId>> msbs(static_cast<size_t>(k));
+    for (RackId rack = 0; rack < fleet.topology.num_racks(); ++rack) {
+      msbs[static_cast<size_t>(plan.shard_of_rack[rack])].insert(fleet.topology.rack_msb(rack));
+    }
+    for (int shard = 0; shard < k; ++shard) {
+      EXPECT_EQ(msbs[static_cast<size_t>(shard)].size(), fleet.topology.num_msbs())
+          << "K=" << k << " shard " << shard << " missing an MSB";
+    }
+  }
+}
+
+TEST(ShardPlannerTest, DeterministicInSeedAndSensitiveToIt) {
+  Fleet fleet = TestFleet();
+  ShardPlanOptions opts;
+  opts.shard_count = 4;
+  opts.seed = 77;
+  ShardPlan a = PlanShards(fleet.topology, opts);
+  ShardPlan b = PlanShards(fleet.topology, opts);
+  EXPECT_EQ(a.shard_of_rack, b.shard_of_rack);
+  EXPECT_EQ(a.shard_of_server, b.shard_of_server);
+
+  opts.seed = 78;
+  ShardPlan c = PlanShards(fleet.topology, opts);
+  EXPECT_NE(a.shard_of_rack, c.shard_of_rack) << "different seeds produced the same partition";
+}
+
+TEST(ShardPlannerTest, SingleShardTakesEverything) {
+  Fleet fleet = TestFleet();
+  ShardPlanOptions opts;
+  opts.shard_count = 1;
+  ShardPlan plan = PlanShards(fleet.topology, opts);
+  ASSERT_EQ(plan.shard_count, 1);
+  EXPECT_EQ(plan.servers[0].size(), fleet.topology.num_servers());
+}
+
+TEST(ShardPlannerTest, ShardCountClampedToRacks) {
+  Fleet fleet = TestFleet();
+  ShardPlanOptions opts;
+  opts.shard_count = 1000;  // Far more than 36 racks.
+  ShardPlan plan = PlanShards(fleet.topology, opts);
+  EXPECT_EQ(plan.shard_count, static_cast<int>(fleet.topology.num_racks()));
+  for (const auto& shard : plan.servers) {
+    EXPECT_FALSE(shard.empty());
+  }
+}
+
+TEST(ShardPlannerTest, AutoShardCountHeuristic) {
+  // Small regions stay monolithic; big ones get ~one shard per target chunk,
+  // capped.
+  EXPECT_EQ(AutoShardCount(288), 1);
+  EXPECT_EQ(AutoShardCount(4999), 1);
+  EXPECT_EQ(AutoShardCount(5000), 2);
+  EXPECT_EQ(AutoShardCount(10000), 4);
+  EXPECT_EQ(AutoShardCount(1000000), 16);
+  EXPECT_EQ(AutoShardCount(1000000, 2500, 32), 32);
+}
+
+TEST(ShardPlannerTest, EffectiveShardCountResolution) {
+  EXPECT_EQ(EffectiveShardCount(1, 100000, 1000), 1);   // Monolithic stays monolithic.
+  EXPECT_EQ(EffectiveShardCount(8, 100000, 1000), 8);   // Fixed K.
+  EXPECT_EQ(EffectiveShardCount(8, 100000, 4), 4);      // Clamped to racks.
+  EXPECT_EQ(EffectiveShardCount(0, 100000, 1000), 16);  // Auto-K.
+  EXPECT_EQ(EffectiveShardCount(0, 288, 36), 1);        // Auto-K, small region.
+}
+
+}  // namespace
+}  // namespace ras

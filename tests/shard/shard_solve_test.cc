@@ -1,0 +1,290 @@
+// Shard solve coordination + stitch repair + AsyncSolver/supervisor wiring.
+
+#include "src/shard/shard_solve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "src/core/buffer_policy.h"
+#include "src/core/solver_supervisor.h"
+#include "src/fleet/fleet_gen.h"
+#include "src/shard/stitch_repair.h"
+
+namespace ras {
+namespace {
+
+FleetOptions SmallFleetOptions() {
+  FleetOptions opts;
+  opts.num_datacenters = 2;
+  opts.msbs_per_datacenter = 3;
+  opts.racks_per_msb = 6;
+  opts.servers_per_rack = 8;
+  opts.seed = 11;
+  return opts;  // 288 servers, 36 racks.
+}
+
+ReservationSpec AnyTypeReservation(const HardwareCatalog& catalog, const std::string& name,
+                                   double capacity) {
+  ReservationSpec spec;
+  spec.name = name;
+  spec.capacity_rru = capacity;
+  spec.rru_per_type.assign(catalog.size(), 1.0);
+  return spec;
+}
+
+struct TestRegion {
+  Fleet fleet;
+  std::unique_ptr<ResourceBroker> broker;
+  ReservationRegistry registry;
+
+  explicit TestRegion(const FleetOptions& opts) : fleet(GenerateFleet(opts)) {
+    broker = std::make_unique<ResourceBroker>(&fleet.topology);
+  }
+
+  SolveInput Snapshot() const {
+    return SnapshotSolveInput(*broker, registry, fleet.catalog);
+  }
+};
+
+TEST(ShardSolveTest, MergedTargetsCoverEveryAvailableServerOnce) {
+  TestRegion region(SmallFleetOptions());
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 50));
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "b", 40));
+  SolveInput input = region.Snapshot();
+
+  AsyncSolver solver;
+  solver.mutable_config().shard_count = 3;
+  DecodedAssignment decoded;
+  auto stats = solver.SolveSnapshot(input, &decoded);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->shard_count, 3);
+  EXPECT_EQ(stats->failed_shards, 0u);
+
+  std::set<ServerId> seen;
+  for (const auto& [server, res] : decoded.targets) {
+    EXPECT_TRUE(seen.insert(server).second) << "server " << server << " targeted twice";
+  }
+  size_t available = 0;
+  for (const auto& state : input.servers) {
+    available += state.available ? 1 : 0;
+  }
+  EXPECT_EQ(seen.size(), available);
+  EXPECT_TRUE(std::is_sorted(decoded.targets.begin(), decoded.targets.end()));
+}
+
+TEST(ShardSolveTest, ShardedSolveMeetsDemandAfterRepair) {
+  TestRegion region(SmallFleetOptions());
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 60));
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "b", 45));
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "c", 30));
+  SolveInput input = region.Snapshot();
+
+  AsyncSolver solver;
+  solver.mutable_config().shard_count = 4;
+  DecodedAssignment decoded;
+  auto stats = solver.SolveSnapshot(input, &decoded);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Plenty of spare capacity: after stitch repair nothing should be short.
+  EXPECT_NEAR(stats->total_shortfall_rru, 0.0, 1e-6);
+}
+
+TEST(ShardSolveTest, ShardCountOneIsBitIdenticalToMonolithic) {
+  TestRegion region(SmallFleetOptions());
+  EnsureSharedBuffers(region.registry, region.fleet.topology, region.fleet.catalog, 0.02);
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 50));
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "b", 40));
+  SolveInput input = region.Snapshot();
+
+  // The monolithic reference: a solver predating any shard configuration
+  // (default config), versus one with shard_count explicitly set to 1 plus
+  // shard knobs that must be inert at K = 1.
+  AsyncSolver reference;
+  DecodedAssignment ref_decoded;
+  auto ref_stats = reference.SolveSnapshot(input, &ref_decoded);
+  ASSERT_TRUE(ref_stats.ok());
+
+  AsyncSolver sharded;
+  sharded.mutable_config().shard_count = 1;
+  sharded.mutable_config().shard_seed = 999;
+  sharded.mutable_config().shard_threads = 4;
+  DecodedAssignment decoded;
+  auto stats = sharded.SolveSnapshot(input, &decoded);
+  ASSERT_TRUE(stats.ok());
+
+  EXPECT_EQ(decoded.targets, ref_decoded.targets) << "shard_count=1 diverged from monolithic";
+  EXPECT_EQ(stats->shard_count, 1);
+  EXPECT_EQ(stats->repair_moves, 0u);
+}
+
+TEST(ShardSolveTest, ShardedSolveIsDeterministic) {
+  TestRegion region(SmallFleetOptions());
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 50));
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "b", 40));
+  SolveInput input = region.Snapshot();
+
+  auto run = [&input]() {
+    AsyncSolver solver;
+    solver.mutable_config().shard_count = 4;
+    DecodedAssignment decoded;
+    auto stats = solver.SolveSnapshot(input, &decoded);
+    EXPECT_TRUE(stats.ok());
+    return decoded.targets;
+  };
+  EXPECT_EQ(run(), run()) << "same seed and K produced different assignments";
+}
+
+TEST(ShardSolveTest, FailedShardKeepsSnapshotBindingsAndRepairCovers) {
+  TestRegion region(SmallFleetOptions());
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 30));
+  SolveInput input = region.Snapshot();
+
+  ShardPlanOptions plan_opts;
+  plan_opts.shard_count = 3;
+  ShardPlan plan = PlanShards(region.fleet.topology, plan_opts);
+  ShardDemand demand = SplitDemand(input, plan);
+
+  // The first shard carrying demand "crashes"; spanless shards never invoke
+  // the solve function, so call order tracks the span in shard index order.
+  ASSERT_FALSE(demand.span[0].empty());
+  const int crashed = demand.span[0].front();
+  int calls = 0;
+  ShardSolveFn solve_shard = [&calls](const SolveInput& shard_input, DecodedAssignment* decoded)
+      -> Result<SolveStats> {
+    if (calls++ == 0) {
+      return Status::Internal("injected shard crash");
+    }
+    AsyncSolver solver;
+    return solver.SolveSnapshot(shard_input, decoded);
+  };
+  ShardSolveOptions opts;
+  opts.threads = 1;  // Serial: `calls` needs no synchronization.
+  ShardSolveOutcome outcome = SolveShards(input, plan, demand, solve_shard, opts);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.aggregate.failed_shards, 1u);
+  EXPECT_FALSE(outcome.shards[static_cast<size_t>(crashed)].status.ok());
+
+  // The failed shard's servers are still covered (at snapshot bindings).
+  std::set<ServerId> covered;
+  for (const auto& [server, res] : outcome.merged.targets) {
+    covered.insert(server);
+  }
+  for (ServerId id : plan.servers[static_cast<size_t>(crashed)]) {
+    EXPECT_TRUE(covered.count(id)) << "failed shard's server " << id << " dropped from merge";
+  }
+
+  // The crashed shard's demand share went unserved; stitch repair must pull
+  // free servers from anywhere in the region to cover it.
+  StitchRepairStats repair = RepairShortfalls(input, outcome.merged.targets);
+  EXPECT_NEAR(repair.shortfall_after_rru, 0.0, 1e-6);
+}
+
+TEST(StitchRepairTest, FillsShortReservationFromFreePool) {
+  TestRegion region(SmallFleetOptions());
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 24));
+  SolveInput input = region.Snapshot();
+
+  // An empty assignment: reservation "a" is fully short.
+  std::vector<std::pair<ServerId, ReservationId>> targets;
+  for (ServerId id = 0; id < input.servers.size(); ++id) {
+    if (input.servers[id].available) {
+      targets.emplace_back(id, kUnassigned);
+    }
+  }
+  StitchRepairStats stats = RepairShortfalls(input, targets);
+  EXPECT_EQ(stats.reservations_short, 1u);
+  EXPECT_GT(stats.shortfall_before_rru, 0.0);
+  EXPECT_NEAR(stats.shortfall_after_rru, 0.0, 1e-6);
+  // Capacity + correlated buffer: strictly more than 24 servers, and spread
+  // so that losing the worst MSB still leaves 24 RRUs.
+  size_t assigned = 0;
+  for (const auto& [server, res] : targets) {
+    assigned += res != kUnassigned ? 1 : 0;
+  }
+  EXPECT_GT(assigned, 24u);
+}
+
+TEST(StitchRepairTest, TakesIdleDonorsButNeverInUseServers) {
+  TestRegion region(SmallFleetOptions());
+  auto a = *region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 20));
+  auto b = *region.registry.Create(AnyTypeReservation(region.fleet.catalog, "b", 20));
+  SolveInput input = region.Snapshot();
+
+  // Hand *every* server to "a" (a hoarding donor), half of them in use.
+  // "b" is fully short and the free pool is empty, so repair can only be
+  // donor moves — and only of idle servers.
+  std::vector<std::pair<ServerId, ReservationId>> targets;
+  for (ServerId id = 0; id < input.servers.size(); ++id) {
+    input.servers[id].current = a;
+    input.servers[id].in_use = (id % 2 == 0);
+    targets.emplace_back(id, a);
+  }
+  StitchRepairStats stats = RepairShortfalls(input, targets);
+  EXPECT_GT(stats.moves_from_donors, 0u);
+  EXPECT_EQ(stats.moves_from_free, 0u);
+  EXPECT_NEAR(stats.shortfall_after_rru, 0.0, 1e-6);
+  for (const auto& [server, res] : targets) {
+    if (input.servers[server].in_use) {
+      EXPECT_EQ(res, a) << "repair preempted in-use server " << server;
+    }
+  }
+  size_t b_servers = 0;
+  for (const auto& [server, res] : targets) {
+    b_servers += res == b ? 1 : 0;
+  }
+  EXPECT_GT(b_servers, 0u);
+}
+
+TEST(StitchRepairTest, MoveBudgetIsRespected) {
+  TestRegion region(SmallFleetOptions());
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 100));
+  SolveInput input = region.Snapshot();
+
+  std::vector<std::pair<ServerId, ReservationId>> targets;
+  for (ServerId id = 0; id < input.servers.size(); ++id) {
+    targets.emplace_back(id, kUnassigned);
+  }
+  StitchRepairOptions opts;
+  opts.max_moves = 5;
+  StitchRepairStats stats = RepairShortfalls(input, targets, opts);
+  EXPECT_EQ(stats.moves(), 5u);
+  EXPECT_GT(stats.shortfall_after_rru, 0.0);  // Budget too small to finish.
+}
+
+TEST(SupervisorShardTest, DegradedRungRaisesShardCountAndRestoresIt) {
+  TestRegion region(SmallFleetOptions());
+  (void)*region.registry.Create(AnyTypeReservation(region.fleet.catalog, "a", 40));
+
+  AsyncSolver solver;
+  SupervisorConfig config;
+  config.max_retries = 0;
+  config.degraded_shard_count = 3;
+  SolverSupervisor supervisor(&solver, region.broker.get(), &region.registry,
+                              &region.fleet.catalog, /*loop=*/nullptr, config);
+  // Fail only the full-two-phase rung (installed after the supervisor so it
+  // replaces the injector hook): the round must be served by the
+  // phase-1-only rung, and that rung must have run with the degraded shard
+  // count.
+  solver.SetFaultHook([](SolveMode mode) {
+    return mode == SolveMode::kFullTwoPhase
+               ? Status::DeadlineExceeded("injected: full solve too slow")
+               : Status::Ok();
+  });
+
+  SupervisedRound round = supervisor.RunRound();
+  EXPECT_EQ(round.rung, LadderRung::kPhase1Only);
+  EXPECT_EQ(round.stats.shard_count, 3) << "degraded rung did not shard the solve";
+  EXPECT_EQ(solver.config().shard_count, 1) << "shard count not restored after the rung";
+
+  // With the fault cleared the next round serves at the top rung, monolithic.
+  solver.SetFaultHook(nullptr);
+  SupervisedRound ok_round = supervisor.RunRound();
+  EXPECT_EQ(ok_round.rung, LadderRung::kFullTwoPhase);
+  EXPECT_EQ(ok_round.stats.shard_count, 1);
+  EXPECT_EQ(solver.config().shard_count, 1);
+}
+
+}  // namespace
+}  // namespace ras
