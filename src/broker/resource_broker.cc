@@ -129,7 +129,9 @@ int ResourceBroker::Subscribe(Watcher watcher) {
 void ResourceBroker::Unsubscribe(int handle) { watchers_.erase(handle); }
 
 void ResourceBroker::Notify(ServerId id) {
-  ++generation_;
+  BumpGeneration();
+  // watchers_ is an ordered map: independent watchers see changes in handle
+  // order, so replaying a scenario notifies them identically every run.
   for (auto& [handle, watcher] : watchers_) {
     watcher(records_[id]);
   }

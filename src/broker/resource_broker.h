@@ -16,11 +16,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "src/topology/topology.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace ras {
 
@@ -64,11 +67,16 @@ class ResourceBroker {
 
   // Store-wide mutation counter: bumped on every record change. Snapshot
   // consumers (the solver supervisor) compare generations to detect that the
-  // world moved while a solve was in flight.
-  uint64_t generation() const { return generation_; }
+  // world moved while a solve was in flight. The counter has its own mutex —
+  // it is the one broker field a supervisor may poll from another thread
+  // while a solve mutates records.
+  uint64_t generation() const EXCLUDES(gen_mu_) {
+    MutexLock lock(&gen_mu_);
+    return generation_;
+  }
   // Models an out-of-band mutation (an emergency operator write, a replica
   // catching up) without changing any record; invalidates open snapshots.
-  void MarkExternalMutation() { ++generation_; }
+  void MarkExternalMutation() EXCLUDES(gen_mu_) { BumpGeneration(); }
 
   // --- Mutations (bump the record version and notify watchers) ---
   void SetTarget(ServerId id, ReservationId target);
@@ -108,17 +116,26 @@ class ResourceBroker {
 
  private:
   void Notify(ServerId id);
+  void BumpGeneration() EXCLUDES(gen_mu_) {
+    MutexLock lock(&gen_mu_);
+    ++generation_;
+  }
   void IndexRemove(ReservationId reservation, ServerId id);
   void IndexAdd(ReservationId reservation, ServerId id);
 
   const RegionTopology* topology_;
   std::vector<ServerRecord> records_;
-  // current-binding index; key kUnassigned holds the free pool.
+  // current-binding index; key kUnassigned holds the free pool. Lookup-only
+  // (never iterated), so hash ordering cannot leak into any output.
   std::unordered_map<ReservationId, std::vector<ServerId>> by_reservation_;
-  std::unordered_map<int, Watcher> watchers_;
+  // Ordered by handle: Notify() walks this map, and watcher callbacks have
+  // side effects (Twine allocator, Online Mover), so the walk order must be
+  // deterministic.
+  std::map<int, Watcher> watchers_;
   int next_watcher_ = 1;
   std::vector<ServerId> empty_;
-  uint64_t generation_ = 0;
+  mutable Mutex gen_mu_;
+  uint64_t generation_ GUARDED_BY(gen_mu_) = 0;
   WriteFaultHook write_fault_hook_;
   size_t failed_writes_ = 0;
 };

@@ -1,7 +1,6 @@
 #include "src/core/async_solver.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <map>
 #include <unordered_map>
@@ -15,20 +14,17 @@
 #include "src/shard/shard_solve.h"
 #include "src/shard/stitch_repair.h"
 #include "src/util/logging.h"
+#include "src/util/monotonic_time.h"
 
 namespace ras {
 namespace {
-
-double Now() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 // Capacity shortfall of the final assignment: per buffered reservation,
 // max(0, C_r - (total RRU - worst-MSB RRU)) over available servers.
 double ComputeShortfall(const SolveInput& input,
                         const std::vector<std::pair<ServerId, ReservationId>>& targets) {
   const RegionTopology& topo = *input.topology;
+  // Lookup-only (never iterated): hash order cannot leak into the shortfall.
   std::unordered_map<ReservationId, int> res_index;
   for (size_t r = 0; r < input.reservations.size(); ++r) {
     res_index[input.reservations[r].id] = static_cast<int>(r);
@@ -75,9 +71,9 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
   outcome.stats.timings.ras_build_s = snapshot_seconds;
 
   // Solver build: symmetry-reduced model construction.
-  double t0 = Now();
+  double t0 = util::MonotonicSeconds();
   BuiltModel built = BuildRasModel(input, classes, config_, include_rack_spread, subset);
-  outcome.stats.timings.solver_build_s = Now() - t0;
+  outcome.stats.timings.solver_build_s = util::MonotonicSeconds() - t0;
   outcome.stats.assignment_variables = built.num_assignment_variables();
   outcome.stats.model_rows = built.model.num_rows();
   outcome.stats.model_variables = built.model.num_variables();
@@ -86,7 +82,7 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
   // Initial state: greedy warm start, polished by a short local search (the
   // two backends compose — the search's relocate moves fix spread cheaply,
   // and the MIP then starts from, and can only improve on, that incumbent).
-  t0 = Now();
+  t0 = util::MonotonicSeconds();
   std::vector<double> counts = BuildInitialCounts(input, classes, built);
   if (config_.backend == SolverBackend::kMip) {
     LocalSearchOptions polish;
@@ -96,11 +92,11 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
   }
   std::vector<double> warm = MakeWarmStart(input, classes, built, counts);
   outcome.stats.warm_start_objective = built.model.Objective(warm);
-  outcome.stats.timings.initial_state_s = Now() - t0;
+  outcome.stats.timings.initial_state_s = util::MonotonicSeconds() - t0;
 
   // Optimize (Section 6: the backend is pluggable; MIP is the paper's choice
   // for RAS, local search the near-realtime alternative).
-  t0 = Now();
+  t0 = util::MonotonicSeconds();
   std::vector<double> local_solution;
   const std::vector<double>* solution = nullptr;
   if (config_.backend == SolverBackend::kLocalSearch) {
@@ -109,7 +105,7 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
     LocalSearchResult ls = LocalSearchOptimize(input, classes, built, counts, ls_options);
     local_solution = MakeWarmStart(input, classes, built, ls.counts);
     solution = &local_solution;
-    outcome.stats.timings.mip_s = Now() - t0;
+    outcome.stats.timings.mip_s = util::MonotonicSeconds() - t0;
     outcome.stats.mip_status = MipStatus::kFeasible;  // No optimality proof.
     outcome.stats.nodes = ls.proposals;
     outcome.stats.objective = ls.final_objective;
@@ -121,7 +117,7 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
     options.heuristic = MakeLpRoundingHeuristic(input, classes, built);
     MipSolver solver(options);
     MipResult mip = solver.Solve(built.model, &warm);
-    outcome.stats.timings.mip_s = Now() - t0;
+    outcome.stats.timings.mip_s = util::MonotonicSeconds() - t0;
     outcome.stats.mip_status = mip.status;
     outcome.stats.nodes = mip.nodes;
     if (mip.status == MipStatus::kOptimal || mip.status == MipStatus::kFeasible) {
@@ -219,25 +215,25 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     return SolveSharded(input, decoded_out, mode, shards);
   }
 
-  double start = Now();
+  double start = util::MonotonicSeconds();
   SolveStats stats;
 
   if (mode == SolveMode::kIncumbentOnly) {
     // Degraded rung: skip the MIP entirely and ship the greedy spread-aware
     // repair of the current assignment — bounded milliseconds, always
     // produces a valid (if suboptimal) region-wide assignment.
-    double t0 = Now();
+    double t0 = util::MonotonicSeconds();
     std::vector<EquivalenceClass> classes = BuildEquivalenceClasses(input, Scope::kMsb);
     BuiltModel built = BuildRasModel(input, classes, config_, /*include_rack_spread=*/false);
-    stats.phase1.timings.ras_build_s = Now() - t0;
+    stats.phase1.timings.ras_build_s = util::MonotonicSeconds() - t0;
     stats.phase1.assignment_variables = built.num_assignment_variables();
     stats.phase1.model_rows = built.model.num_rows();
     stats.phase1.model_variables = built.model.num_variables();
     stats.phase1.memory_bytes = built.EstimatedMemoryBytes();
-    t0 = Now();
+    t0 = util::MonotonicSeconds();
     std::vector<double> counts = BuildInitialCounts(input, classes, built);
     std::vector<double> warm = MakeWarmStart(input, classes, built, counts);
-    stats.phase1.timings.initial_state_s = Now() - t0;
+    stats.phase1.timings.initial_state_s = util::MonotonicSeconds() - t0;
     stats.phase1.ran = true;
     stats.phase1.mip_status = MipStatus::kFeasible;  // Greedy: no bound.
     stats.phase1.objective = built.model.Objective(warm);
@@ -252,7 +248,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
       }
     }
     stats.total_shortfall_rru = ComputeShortfall(input, decoded.targets);
-    stats.total_seconds = Now() - start;
+    stats.total_seconds = util::MonotonicSeconds() - start;
     if (decoded_out != nullptr) {
       *decoded_out = std::move(decoded);
     }
@@ -260,9 +256,9 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
   }
 
   // ---- Phase 1: MSB granularity, region-wide ----
-  double t0 = Now();
+  double t0 = util::MonotonicSeconds();
   std::vector<EquivalenceClass> classes1 = BuildEquivalenceClasses(input, Scope::kMsb);
-  double ras_build1 = Now() - t0;
+  double ras_build1 = util::MonotonicSeconds() - t0;
   PhaseOutcome phase1 = RunPhase(input, classes1, /*include_rack_spread=*/false, {},
                                  config_.phase1_mip, ras_build1);
   stats.phase1 = phase1.stats;
@@ -280,7 +276,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
       }
     }
     stats.total_shortfall_rru = ComputeShortfall(input, final_targets);
-    stats.total_seconds = Now() - start;
+    stats.total_seconds = util::MonotonicSeconds() - start;
     if (decoded_out != nullptr) {
       decoded_out->targets = std::move(final_targets);
       decoded_out->moves_total = stats.moves_total;
@@ -289,7 +285,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     }
     return stats;
   }
-  t0 = Now();
+  t0 = util::MonotonicSeconds();
   SolveInput input2 = input;  // Apply phase-1 targets as the new current state.
   for (const auto& [server, res] : final_targets) {
     input2.servers[server].current = res;
@@ -311,7 +307,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     }
     subset.push_back(r);
   }
-  double ras_build2 = Now() - t0;
+  double ras_build2 = util::MonotonicSeconds() - t0;
 
   if (!subset.empty()) {
     std::unordered_set<ReservationId> subset_ids;
@@ -320,10 +316,10 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     }
     ClassFilter filter;
     filter.reservations = &subset_ids;
-    t0 = Now();
+    t0 = util::MonotonicSeconds();
     std::vector<EquivalenceClass> classes2 =
         BuildEquivalenceClasses(input2, Scope::kRack, filter);
-    ras_build2 += Now() - t0;
+    ras_build2 += util::MonotonicSeconds() - t0;
 
     // Respect the assignment-variable budget: shrink the subset if a crude
     // upper bound (classes x subset reservations) exceeds it.
@@ -339,8 +335,9 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     stats.phase2 = phase2.stats;
 
     // Merge: phase-2 targets override phase-1 for the servers it touched.
-    std::unordered_map<ServerId, ReservationId> merged;
-    merged.reserve(final_targets.size());
+    // Ordered map: the merged target list comes straight out of iteration
+    // order, already sorted by server id.
+    std::map<ServerId, ReservationId> merged;
     for (const auto& [server, res] : final_targets) {
       merged[server] = res;
     }
@@ -348,7 +345,6 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
       merged[server] = res;
     }
     final_targets.assign(merged.begin(), merged.end());
-    std::sort(final_targets.begin(), final_targets.end());
   }
 
   // ---- Final accounting against the original snapshot ----
@@ -360,7 +356,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     }
   }
   stats.total_shortfall_rru = ComputeShortfall(input, final_targets);
-  stats.total_seconds = Now() - start;
+  stats.total_seconds = util::MonotonicSeconds() - start;
 
   if (decoded_out != nullptr) {
     decoded_out->targets = std::move(final_targets);
@@ -374,7 +370,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
 Result<SolveStats> AsyncSolver::SolveSharded(const SolveInput& input,
                                              DecodedAssignment* decoded_out, SolveMode mode,
                                              int shard_count) {
-  double start = Now();
+  double start = util::MonotonicSeconds();
   ShardPlanOptions plan_options;
   plan_options.shard_count = shard_count;
   plan_options.seed = config_.shard_seed;
@@ -428,7 +424,7 @@ Result<SolveStats> AsyncSolver::SolveSharded(const SolveInput& input,
     }
   }
   stats.total_shortfall_rru = ComputeShortfall(input, outcome.merged.targets);
-  stats.total_seconds = Now() - start;
+  stats.total_seconds = util::MonotonicSeconds() - start;
 
   if (decoded_out != nullptr) {
     decoded_out->targets = std::move(outcome.merged.targets);
@@ -442,9 +438,9 @@ Result<SolveStats> AsyncSolver::SolveSharded(const SolveInput& input,
 Result<SolveStats> AsyncSolver::SolveOnce(ResourceBroker& broker,
                                           const ReservationRegistry& registry,
                                           const HardwareCatalog& catalog, SolveMode mode) {
-  double t0 = Now();
+  double t0 = util::MonotonicSeconds();
   SolveInput input = SnapshotSolveInput(broker, registry, catalog);
-  double snapshot_s = Now() - t0;
+  double snapshot_s = util::MonotonicSeconds() - t0;
 
   DecodedAssignment decoded;
   Result<SolveStats> stats = SolveSnapshot(input, &decoded, mode);

@@ -2,18 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 
+#include "src/util/monotonic_time.h"
 #include "src/util/rng.h"
 
 namespace ras {
 namespace {
-
-double Now() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 // Incremental objective state. Every coefficient is extracted from the built
 // model itself, so the local search optimizes exactly what the MIP would.
@@ -202,7 +197,7 @@ LocalSearchResult LocalSearchOptimize(const SolveInput& input,
                                       const std::vector<double>& initial_counts,
                                       const LocalSearchOptions& options) {
   LocalSearchResult result;
-  double start = Now();
+  double start = util::MonotonicSeconds();
   ObjectiveState state(input, classes, built);
   state.Load(initial_counts);
   result.initial_objective = state.FullObjective();
@@ -225,7 +220,7 @@ LocalSearchResult LocalSearchOptimize(const SolveInput& input,
   int64_t stall = 0;
   double current = result.initial_objective;
   while (result.proposals < options.max_proposals && stall < options.stall_limit) {
-    if ((result.proposals & 1023) == 0 && Now() - start > options.time_limit_seconds) {
+    if ((result.proposals & 1023) == 0 && util::MonotonicSeconds() - start > options.time_limit_seconds) {
       break;
     }
     ++result.proposals;
@@ -318,7 +313,7 @@ LocalSearchResult LocalSearchOptimize(const SolveInput& input,
 
   result.counts = state.counts();
   result.final_objective = state.FullObjective();
-  result.seconds = Now() - start;
+  result.seconds = util::MonotonicSeconds() - start;
   // Incremental bookkeeping must agree with the from-scratch evaluation.
   assert(std::fabs(result.final_objective - current) <
          1e-6 * (1.0 + std::fabs(result.final_objective)));

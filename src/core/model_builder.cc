@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <map>
-#include <unordered_set>
 
 namespace ras {
 namespace {

@@ -1,19 +1,16 @@
 #include "src/shard/shard_solve.h"
 
 #include <algorithm>
-#include <chrono>
 #include <thread>
 #include <unordered_set>
 
+#include "src/util/monotonic_time.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace ras {
 namespace {
-
-double Now() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 // Worst MIP status across shards: any shard stuck below feasible drags the
 // aggregate down, matching how the supervisor interprets a monolithic solve.
@@ -48,12 +45,23 @@ struct ShardResult {
   double wall_seconds = 0.0;
 };
 
+// The coordinator's merge state: one result slot per shard, written by pool
+// workers as their shard finishes and read back (in shard order, so the merge
+// is schedule-independent) after the barrier. Workers solve outside the lock
+// and only move their finished ShardResult into its slot under it.
+struct MergeState {
+  Mutex mu;
+  std::vector<ShardResult> slots GUARDED_BY(mu);
+};
+
 }  // namespace
 
 SolveInput MakeShardInput(const SolveInput& region, const ShardPlan& plan,
                           const ShardDemand& demand, int shard) {
   SolveInput input = region;
   input.reservations.clear();
+  // Lookup-only (never iterated): membership test while copying `region`,
+  // whose own order drives the shard input.
   std::unordered_set<ReservationId> in_span;
   for (const ReservationSpec& spec : demand.reservations[static_cast<size_t>(shard)]) {
     if (spec.capacity_rru > 0.0) {
@@ -84,23 +92,29 @@ ShardSolveOutcome SolveShards(const SolveInput& input, const ShardPlan& plan,
                               const ShardSolveOptions& options) {
   ShardSolveOutcome outcome;
   const int shard_count = plan.shard_count;
-  const double start = Now();
+  const double start = util::MonotonicSeconds();
 
-  std::vector<ShardResult> results(static_cast<size_t>(shard_count));
+  MergeState state;
+  {
+    MutexLock lock(&state.mu);  // No workers yet.
+    state.slots.resize(static_cast<size_t>(shard_count));
+  }
   auto run_shard = [&](int shard) {
-    ShardResult& result = results[static_cast<size_t>(shard)];
+    ShardResult result;
     SolveInput shard_input = MakeShardInput(input, plan, demand, shard);
     if (shard_input.reservations.empty()) {
-      return;  // No span member placed demand here; nothing to solve.
+      return;  // No span member placed demand here; the slot stays empty-OK.
     }
-    double t0 = Now();
+    double t0 = util::MonotonicSeconds();
     Result<SolveStats> solved = solve_shard(shard_input, &result.decoded);
-    result.wall_seconds = Now() - t0;
+    result.wall_seconds = util::MonotonicSeconds() - t0;
     if (solved.ok()) {
       result.stats = *solved;
     } else {
       result.status = solved.status();
     }
+    MutexLock lock(&state.mu);
+    state.slots[static_cast<size_t>(shard)] = std::move(result);
   };
 
   int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -119,13 +133,15 @@ ShardSolveOutcome SolveShards(const SolveInput& input, const ShardPlan& plan,
   }
 
   // Merge in shard order; each result slot is fixed, so the merged target
-  // set is independent of worker scheduling.
+  // set is independent of worker scheduling. The pool's Wait() barrier has
+  // passed, but the merge still reads the slots under the lock.
+  MutexLock lock(&state.mu);
   Status first_error;
   size_t succeeded = 0;
   outcome.aggregate.shard_count = shard_count;
   std::vector<char> covered(input.servers.size(), 0);
   for (int shard = 0; shard < shard_count; ++shard) {
-    ShardResult& result = results[static_cast<size_t>(shard)];
+    ShardResult& result = state.slots[static_cast<size_t>(shard)];
     ShardOutcomeSummary summary;
     summary.shard = shard;
     summary.status = result.status;
@@ -163,7 +179,7 @@ ShardSolveOutcome SolveShards(const SolveInput& input, const ShardPlan& plan,
     }
   }
   std::sort(outcome.merged.targets.begin(), outcome.merged.targets.end());
-  outcome.aggregate.total_seconds = Now() - start;
+  outcome.aggregate.total_seconds = util::MonotonicSeconds() - start;
   outcome.status = succeeded > 0 ? Status::Ok()
                                  : (first_error.ok() ? Status::Internal("no shards to solve")
                                                      : first_error);

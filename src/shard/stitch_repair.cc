@@ -56,6 +56,7 @@ StitchRepairStats RepairShortfalls(const SolveInput& input,
   StitchRepairStats stats;
   const RegionTopology& topo = *input.topology;
 
+  // Lookup-only (never iterated): hash order cannot leak into the repair.
   std::unordered_map<ReservationId, size_t> res_index;
   res_index.reserve(input.reservations.size());
   for (size_t r = 0; r < input.reservations.size(); ++r) {

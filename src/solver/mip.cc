@@ -1,13 +1,13 @@
 #include "src/solver/mip.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 
+#include "src/util/monotonic_time.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace ras {
@@ -176,10 +176,8 @@ MipResult MipSolver::Solve(const Model& model, const std::vector<double>* warm_s
 }
 
 MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* warm_start) {
-  auto start_time = std::chrono::steady_clock::now();
-  auto elapsed = [&start_time]() {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
-  };
+  const double start_time = util::MonotonicSeconds();
+  auto elapsed = [start_time]() { return util::MonotonicSeconds() - start_time; };
 
   MipResult result;
   result.best_bound = -kInf;
@@ -346,37 +344,38 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
 }
 
 MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>* warm_start) {
-  auto start_time = std::chrono::steady_clock::now();
-  auto elapsed = [&start_time]() {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
-  };
+  const double start_time = util::MonotonicSeconds();
+  auto elapsed = [start_time]() { return util::MonotonicSeconds() - start_time; };
 
   // All search state shared by the workers lives behind one mutex; node LP
   // solves (the expensive part) run outside it, each on the worker's own
   // SimplexSolver so warm starts chain along each worker's node sequence.
   struct Shared {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Node> open;
-    int busy = 0;            // Workers currently expanding a node.
-    bool stop = false;       // Limit hit or unbounded: wind down.
-    bool unbounded = false;
-    bool hit_time_limit = false;
-    int64_t nodes = 0;
-    int64_t lp_iterations = 0;
-    bool have_incumbent = false;
-    std::vector<double> incumbent;
-    double incumbent_obj = kInf;
-    bool root_solved = false;
-    double root_bound = -kInf;
+    Mutex mu;
+    CondVar cv;
+    std::deque<Node> open GUARDED_BY(mu);
+    int busy GUARDED_BY(mu) = 0;       // Workers currently expanding a node.
+    bool stop GUARDED_BY(mu) = false;  // Limit hit or unbounded: wind down.
+    bool unbounded GUARDED_BY(mu) = false;
+    bool hit_time_limit GUARDED_BY(mu) = false;
+    int64_t nodes GUARDED_BY(mu) = 0;
+    int64_t lp_iterations GUARDED_BY(mu) = 0;
+    bool have_incumbent GUARDED_BY(mu) = false;
+    std::vector<double> incumbent GUARDED_BY(mu);
+    double incumbent_obj GUARDED_BY(mu) = kInf;
+    bool root_solved GUARDED_BY(mu) = false;
+    double root_bound GUARDED_BY(mu) = -kInf;
   } sh;
 
-  if (warm_start != nullptr && model.IsFeasible(*warm_start, options_.integrality_tol * 10)) {
-    sh.incumbent = *warm_start;
-    sh.incumbent_obj = model.Objective(sh.incumbent);
-    sh.have_incumbent = true;
+  {
+    MutexLock lock(&sh.mu);  // No workers yet; satisfies the static analysis.
+    if (warm_start != nullptr && model.IsFeasible(*warm_start, options_.integrality_tol * 10)) {
+      sh.incumbent = *warm_start;
+      sh.incumbent_obj = model.Objective(sh.incumbent);
+      sh.have_incumbent = true;
+    }
+    sh.open.push_back(Node{{}, -kInf, 0});
   }
-  sh.open.push_back(Node{{}, -kInf, 0});
 
   auto worker = [&]() {
     SimplexSolver lp_solver(options_.lp);
@@ -385,10 +384,10 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
     // node chain's basis).
     SimplexSolver heuristic_solver(options_.lp);
 
-    std::unique_lock<std::mutex> lock(sh.mu);
+    sh.mu.Lock();
     for (;;) {
       while (sh.open.empty() && !sh.stop && sh.busy > 0) {
-        sh.cv.wait(lock);
+        sh.cv.Wait(sh.mu);
       }
       if (sh.stop || sh.open.empty()) {
         // Done: budget exhausted, or no open nodes and nobody is expanding
@@ -399,7 +398,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
       if (sh.nodes >= options_.max_nodes || elapsed() > options_.time_limit_seconds) {
         sh.hit_time_limit = elapsed() > options_.time_limit_seconds;
         sh.stop = true;  // Leave remaining nodes queued: they price the bound.
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         break;
       }
       Node node = std::move(sh.open.back());
@@ -412,7 +411,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
       ++sh.nodes;
       int64_t node_id = sh.nodes;
       ++sh.busy;
-      lock.unlock();
+      sh.mu.Unlock();
 
       // ResolveWithBasis falls back to a cold solve on each worker's first
       // node, then warm-starts down that worker's chain.
@@ -437,19 +436,19 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
         have_candidate = produced && model.IsFeasible(candidate, options_.integrality_tol * 100);
       }
 
-      lock.lock();
+      sh.mu.Lock();
       --sh.busy;
       sh.lp_iterations += lp.iterations;
       if (lp.status == LpStatus::kUnbounded) {
         sh.unbounded = true;
         sh.stop = true;
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         continue;  // Loop exits via stop.
       }
       if (lp.status != LpStatus::kOptimal) {
         // Infeasible, or numerical trouble / iteration limit: drop the node
         // (same posture as the serial search).
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         continue;
       }
       if (node.depth == 0) {
@@ -465,7 +464,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
         }
       }
       if (sh.have_incumbent && lp.objective > sh.incumbent_obj - options_.absolute_gap) {
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         continue;  // Bound prune.
       }
       if (branch_var < 0) {
@@ -482,7 +481,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
           sh.incumbent_obj = obj;
           sh.have_incumbent = true;
         }
-        sh.cv.notify_all();
+        sh.cv.NotifyAll();
         continue;
       }
 
@@ -502,9 +501,10 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
         sh.open.push_back(std::move(up));
         sh.open.push_back(std::move(down));
       }
-      sh.cv.notify_all();
+      sh.cv.NotifyAll();
     }
-    sh.cv.notify_all();
+    sh.cv.NotifyAll();
+    sh.mu.Unlock();
   };
 
   {
@@ -515,6 +515,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
     pool.Wait();
   }
 
+  MutexLock lock(&sh.mu);  // Workers are joined; reads would race otherwise anyway.
   MipResult result;
   result.best_bound = -kInf;
   result.nodes = sh.nodes;

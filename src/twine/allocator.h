@@ -9,6 +9,7 @@
 #ifndef RAS_SRC_TWINE_ALLOCATOR_H_
 #define RAS_SRC_TWINE_ALLOCATOR_H_
 
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -75,7 +76,11 @@ class TwineAllocator {
 
   const HardwareCatalog* catalog_;
   ResourceBroker* broker_;
-  std::unordered_map<JobId, JobState> jobs_;
+  // Ordered by JobId: RetryPending() and the eviction paths iterate jobs_,
+  // and placement order decides which job wins contended capacity — hash
+  // order here would leak into allocation outcomes run-to-run.
+  std::map<JobId, JobState> jobs_;
+  // Lookup-only (never iterated); hash ordering cannot leak.
   std::unordered_map<ContainerId, ContainerState> containers_;
   std::vector<ServerUsage> usage_;
   JobId next_job_ = 1;

@@ -1,0 +1,17 @@
+#include "src/util/monotonic_time.h"
+
+#include <chrono>
+
+namespace ras {
+namespace util {
+
+double MonotonicSeconds() {
+  // The one wall-clock read in the repository (see header). NOLINT justifies
+  // itself: this file is the ras-wall-clock allowlist.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())  // NOLINT(ras-wall-clock)
+      .count();
+}
+
+}  // namespace util
+}  // namespace ras

@@ -1,0 +1,23 @@
+// The single sanctioned wall-clock read.
+//
+// Everything outside this helper is either simulated time (src/util/sim_time)
+// or pure computation, so solver *output* can never depend on the host clock;
+// MonotonicSeconds() exists only to measure elapsed time for stats, time
+// limits, and benchmarks. raslint's ras-wall-clock rule enforces this: any
+// other `std::chrono::*_clock` / `time()` / `std::random_device` use in
+// src/, tools/, or tests/ is a lint error.
+
+#ifndef RAS_SRC_UTIL_MONOTONIC_TIME_H_
+#define RAS_SRC_UTIL_MONOTONIC_TIME_H_
+
+namespace ras {
+namespace util {
+
+// Seconds on a monotonic clock with an arbitrary epoch. Only differences are
+// meaningful.
+double MonotonicSeconds();
+
+}  // namespace util
+}  // namespace ras
+
+#endif  // RAS_SRC_UTIL_MONOTONIC_TIME_H_

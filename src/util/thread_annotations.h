@@ -1,0 +1,46 @@
+// Clang thread-safety annotation macros (ABSL style, unprefixed).
+//
+// These expand to Clang's `-Wthread-safety` attributes so the compiler can
+// statically check that every access to a GUARDED_BY member happens with the
+// guarding mutex held. Under GCC (and any compiler without the attributes)
+// they expand to nothing, so annotated code builds everywhere while the Clang
+// CI job enforces `-Werror=thread-safety`.
+//
+// The annotations only understand capability-aware lock types; std::mutex and
+// std::unique_lock in libstdc++ carry no attributes, so annotated code must
+// use the ras::Mutex / ras::MutexLock / ras::CondVar wrappers from
+// src/util/mutex.h.
+
+#ifndef RAS_SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define RAS_SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RAS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RAS_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// Data members: which mutex guards them.
+#define GUARDED_BY(x) RAS_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) RAS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Functions: locks they require, acquire, release, or must not hold.
+#define REQUIRES(...) RAS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) RAS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) RAS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) RAS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) RAS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) RAS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) RAS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) RAS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) RAS_THREAD_ANNOTATION_(assert_capability(x))
+#define RETURN_CAPABILITY(x) RAS_THREAD_ANNOTATION_(lock_returned(x))
+
+// Types: lock-like classes and RAII scopes.
+#define CAPABILITY(x) RAS_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY RAS_THREAD_ANNOTATION_(scoped_lockable)
+
+// Escape hatch for code the analysis cannot follow (deliberate lock juggling).
+#define NO_THREAD_SAFETY_ANALYSIS RAS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // RAS_SRC_UTIL_THREAD_ANNOTATIONS_H_

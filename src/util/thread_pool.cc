@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -26,33 +26,38 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push_back(std::move(task));
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!tasks_.empty() || running_ != 0) {
+    idle_cv_.Wait(mu_);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+    while (!shutdown_ && tasks_.empty()) {
+      task_cv_.Wait(mu_);
+    }
     if (tasks_.empty()) {
+      mu_.Unlock();
       return;  // Shutdown with nothing left to run.
     }
     std::function<void()> task = std::move(tasks_.front());
     tasks_.pop_front();
     ++running_;
-    lock.unlock();
+    mu_.Unlock();
     task();
-    lock.lock();
+    mu_.Lock();
     --running_;
     if (tasks_.empty() && running_ == 0) {
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
   }
 }

@@ -2,20 +2,25 @@
 //
 // Fixed worker count, FIFO task queue, and a Wait() barrier that blocks until
 // every submitted task has finished. Used by the parallel branch-and-bound
-// (src/solver/mip): the MIP submits one long-running worker loop per thread
-// and the workers coordinate over their own shared node queue, so the pool
-// only needs to guarantee that all submitted tasks run concurrently when
-// their count does not exceed the pool size.
+// (src/solver/mip) and the shard solve coordinator (src/shard/shard_solve):
+// both submit one long-running worker loop per thread and coordinate over
+// their own shared state, so the pool only needs to guarantee that all
+// submitted tasks run concurrently when their count does not exceed the pool
+// size.
+//
+// This is the sanctioned home for raw std::thread in the repository
+// (raslint's ras-naked-thread rule); all other concurrency rides on it.
 
 #ifndef RAS_SRC_UTIL_THREAD_POOL_H_
 #define RAS_SRC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace ras {
 
@@ -42,12 +47,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;  // Signals workers: task available / shutdown.
-  std::condition_variable idle_cv_;  // Signals Wait(): queue drained and idle.
-  int running_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar task_cv_;  // Signals workers: task available / shutdown.
+  CondVar idle_cv_;  // Signals Wait(): queue drained and idle.
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  int running_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ras

@@ -1,0 +1,258 @@
+// raslint test suite: each rule fires at the lines its fixture marks, NOLINT
+// suppression is honored, the JSON report matches the documented schema, and
+// — the meta-test — a full scan of this repository is clean.
+//
+// Fixtures live in tests/raslint/fixtures/ with a .fixture extension so the
+// repo-wide scan (which only collects .h/.hpp/.cc/.cpp) never lints them.
+// Lines that must produce a diagnostic carry an EXPECT-LINT marker comment;
+// the tests assert the diagnostic line set equals the marker line set, so a
+// rule that stops firing or starts over-firing breaks the exact assertion.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/raslint/driver.h"
+#include "tools/raslint/report.h"
+#include "tools/raslint/rules.h"
+
+#ifndef RAS_SOURCE_DIR
+#error "build must define RAS_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace ras {
+namespace raslint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(RAS_SOURCE_DIR) + "/tests/raslint/fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// 1-based numbers of the lines containing `marker`.
+std::set<int> MarkerLines(const std::string& content, const std::string& marker) {
+  std::set<int> lines;
+  std::istringstream in(content);
+  std::string line;
+  for (int n = 1; std::getline(in, line); ++n) {
+    if (line.find(marker) != std::string::npos) lines.insert(n);
+  }
+  return lines;
+}
+
+std::set<int> DiagnosticLines(const FileLintResult& result, const std::string& rule) {
+  std::set<int> lines;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.rule == rule) lines.insert(d.line);
+  }
+  return lines;
+}
+
+// Asserts `rule` (and only `rule`) fires exactly on the EXPECT-LINT lines.
+void ExpectFiresOnMarkers(const std::string& fixture, const std::string& virtual_path,
+                          const std::string& rule) {
+  const std::string content = ReadFixture(fixture);
+  FileLintResult result = AnalyzeSource(virtual_path, content);
+  EXPECT_EQ(DiagnosticLines(result, rule), MarkerLines(content, "EXPECT-LINT"))
+      << fixture << " as " << virtual_path;
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.rule, rule) << "unexpected " << d.rule << " at " << d.file << ":" << d.line
+                            << ": " << d.message;
+  }
+}
+
+// --- per-rule fixtures -------------------------------------------------------
+
+TEST(RaslintRules, UnorderedIterationFiresAtMarkedLines) {
+  ExpectFiresOnMarkers("unordered_iteration.cc.fixture", "src/core/unordered_iteration.cc",
+                       "ras-unordered-iteration");
+}
+
+TEST(RaslintRules, UnorderedIterationOnlyGuardsSolverPathDirs) {
+  const std::string content = ReadFixture("unordered_iteration.cc.fixture");
+  FileLintResult result = AnalyzeSource("src/fleet/unordered_iteration.cc", content);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << "iteration order is not solver-visible outside solver-path dirs";
+}
+
+TEST(RaslintRules, UnorderedIterationSeesCompanionHeaderMembers) {
+  const std::string header =
+      "#ifndef RAS_SRC_CORE_WIDGET_H_\n#define RAS_SRC_CORE_WIDGET_H_\n"
+      "#include <unordered_map>\n"
+      "struct Widget { std::unordered_map<int, int> table_; };\n"
+      "#endif  // RAS_SRC_CORE_WIDGET_H_\n";
+  const std::string source =
+      "#include \"src/core/widget.h\"\n"
+      "int Sum(Widget& w) {\n"
+      "  int s = 0;\n"
+      "  for (const auto& [k, v] : w.table_) s += v;\n"
+      "  return s;\n"
+      "}\n";
+  FileLintResult result = AnalyzeSource("src/core/widget.cc", source, header);
+  EXPECT_EQ(DiagnosticLines(result, "ras-unordered-iteration"), (std::set<int>{4}));
+}
+
+TEST(RaslintRules, WallClockFiresAtMarkedLines) {
+  ExpectFiresOnMarkers("wall_clock.cc.fixture", "src/core/wall_clock.cc", "ras-wall-clock");
+}
+
+TEST(RaslintRules, WallClockSanctionedHelperIsExempt) {
+  const std::string content = ReadFixture("wall_clock.cc.fixture");
+  FileLintResult result = AnalyzeSource("src/util/monotonic_time.cc", content);
+  EXPECT_TRUE(DiagnosticLines(result, "ras-wall-clock").empty())
+      << "util::MonotonicSeconds() is the one sanctioned clock read";
+}
+
+TEST(RaslintRules, UnseededRngFiresAtMarkedLines) {
+  ExpectFiresOnMarkers("unseeded_rng.cc.fixture", "src/sim/unseeded_rng.cc",
+                       "ras-unseeded-rng");
+}
+
+TEST(RaslintRules, RasRngBareDeclarationIsNotFlagged) {
+  // ras::Rng has no default constructor, so a bare member declaration can
+  // only ever be seed-constructed in a ctor init list the token scan cannot
+  // see. std engines default-construct to implementation state and do fire.
+  FileLintResult result = AnalyzeSource("src/sim/x.h",
+                                        "#ifndef RAS_SRC_SIM_X_H_\n#define RAS_SRC_SIM_X_H_\n"
+                                        "struct S { Rng rng; };\n"
+                                        "#endif  // RAS_SRC_SIM_X_H_\n");
+  EXPECT_TRUE(DiagnosticLines(result, "ras-unseeded-rng").empty());
+}
+
+TEST(RaslintRules, NakedThreadFiresAtMarkedLines) {
+  ExpectFiresOnMarkers("naked_thread.cc.fixture", "src/core/naked_thread.cc",
+                       "ras-naked-thread");
+}
+
+TEST(RaslintRules, NakedThreadAllowsThreadPoolImplementation) {
+  const std::string content = ReadFixture("naked_thread.cc.fixture");
+  FileLintResult result = AnalyzeSource("src/util/thread_pool.cc", content);
+  EXPECT_TRUE(DiagnosticLines(result, "ras-naked-thread").empty());
+}
+
+TEST(RaslintRules, FloatMoneyFiresAtMarkedLinesInLedgerDir) {
+  ExpectFiresOnMarkers("float_money.cc.fixture", "src/shard/float_money.cc",
+                       "ras-float-money");
+}
+
+TEST(RaslintRules, FloatMoneyOutsideLedgerDirOnlyFlagsFloatRru) {
+  // RRU is double by design outside src/shard (compute_units throughput
+  // scalars, fractional demand); only `float` on rru/capacity names fires.
+  const std::string content = ReadFixture("float_money.cc.fixture");
+  FileLintResult result = AnalyzeSource("src/sim/float_money.cc", content);
+  EXPECT_EQ(DiagnosticLines(result, "ras-float-money"),
+            MarkerLines(content, "EXPECT-LINT-ANYWHERE"));
+}
+
+TEST(RaslintRules, IncludeHygieneFiresAtMarkedLines) {
+  ExpectFiresOnMarkers("include_hygiene.h.fixture", "src/solver/include_hygiene.h",
+                       "ras-include-hygiene");
+}
+
+TEST(RaslintRules, IncludeHygieneAcceptsCanonicalGuard) {
+  const std::string content =
+      "#ifndef RAS_SRC_UTIL_OK_H_\n#define RAS_SRC_UTIL_OK_H_\n"
+      "#include <vector>\n"
+      "#endif  // RAS_SRC_UTIL_OK_H_\n";
+  FileLintResult result = AnalyzeSource("src/util/ok.h", content);
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(RaslintRules, CanonicalGuardFormat) {
+  EXPECT_EQ(CanonicalGuard("src/util/mutex.h"), "RAS_SRC_UTIL_MUTEX_H_");
+  EXPECT_EQ(CanonicalGuard("tools/raslint/rules.h"), "RAS_TOOLS_RASLINT_RULES_H_");
+}
+
+// --- suppression -------------------------------------------------------------
+
+TEST(RaslintSuppression, NolintVariantsSuppressAndAreCounted) {
+  const std::string content = ReadFixture("suppressed.cc.fixture");
+  FileLintResult result = AnalyzeSource("src/core/suppressed.cc", content);
+  // NOLINTNEXTLINE(rule), same-line NOLINT(rule), and bare NOLINT each
+  // suppress one wall-clock read; the NOLINT naming a different rule does not.
+  EXPECT_EQ(result.suppressed, 3);
+  EXPECT_EQ(DiagnosticLines(result, "ras-wall-clock"),
+            MarkerLines(content, "EXPECT-LINT"));
+}
+
+TEST(RaslintSuppression, EnabledRulesFilterRestrictsToRequestedRules) {
+  LintConfig config;
+  config.enabled_rules = {"ras-wall-clock"};
+  const std::string content = ReadFixture("unordered_iteration.cc.fixture");
+  FileLintResult result = AnalyzeSource("src/core/unordered_iteration.cc", content,
+                                        std::string(), config);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << "--rule=ras-wall-clock must disable the iteration rule";
+}
+
+// --- JSON report -------------------------------------------------------------
+
+TEST(RaslintReport, JsonMatchesDocumentedSchema) {
+  RunSummary summary;
+  summary.files_scanned = 2;
+  summary.suppressed = 1;
+  summary.diagnostics.push_back(Diagnostic{"ras-wall-clock", Severity::kError, "src/a.cc", 7,
+                                           "message with \"quotes\" and \\backslash"});
+  summary.diagnostics.push_back(
+      Diagnostic{"ras-include-hygiene", Severity::kWarning, "src/b.h", 1, "guard"});
+
+  std::ostringstream os;
+  WriteJson(summary, os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"tool\": \"raslint\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("{\"file\": \"src/a.cc\", \"line\": 7, \"rule\": \"ras-wall-clock\", "
+                      "\"severity\": \"error\", \"message\": \"message with \\\"quotes\\\" "
+                      "and \\\\backslash\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+}
+
+TEST(RaslintReport, EmptyRunProducesEmptyDiagnosticsArray) {
+  RunSummary summary;
+  std::ostringstream os;
+  WriteJson(summary, os);
+  EXPECT_NE(os.str().find("\"diagnostics\": []"), std::string::npos);
+}
+
+// --- driver + meta-scan ------------------------------------------------------
+
+TEST(RaslintDriver, CollectFilesSkipsFixturesAndBuildTrees) {
+  std::vector<std::string> files = CollectFiles(RAS_SOURCE_DIR, {"tests/raslint"});
+  bool saw_this_test = false;
+  for (const std::string& f : files) {
+    EXPECT_EQ(f.find(".fixture"), std::string::npos) << f;
+    EXPECT_EQ(f.find("build/"), std::string::npos) << f;
+    if (f == "tests/raslint/raslint_test.cc") saw_this_test = true;
+  }
+  EXPECT_TRUE(saw_this_test);
+}
+
+// The acceptance criterion for the whole lint pass: the repository's own
+// sources are clean under all six rules. A regression anywhere in src/,
+// tools/ or tests/ fails this test with the offending file:line.
+TEST(RaslintMeta, FullRepoScanIsClean) {
+  std::vector<std::string> files = CollectFiles(RAS_SOURCE_DIR, {"src", "tools", "tests"});
+  RunSummary summary = LintFiles(RAS_SOURCE_DIR, files, LintConfig());
+  std::ostringstream report;
+  WriteText(summary, report);
+  EXPECT_EQ(summary.errors(), 0) << report.str();
+  EXPECT_GT(summary.files_scanned, 100) << "scan missed most of the tree";
+}
+
+}  // namespace
+}  // namespace raslint
+}  // namespace ras

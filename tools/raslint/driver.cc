@@ -1,0 +1,106 @@
+#include "tools/raslint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ras {
+namespace raslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool SkipDirectory(const std::string& name) {
+  return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0;
+}
+
+// Repo-relative path with forward slashes.
+std::string Relative(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  return (ec ? p : rel).generic_string();
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::vector<std::string>& paths) {
+  const fs::path root_path(root);
+  std::vector<std::string> files;
+  for (const std::string& raw : paths) {
+    fs::path p = fs::path(raw).is_absolute() ? fs::path(raw) : root_path / raw;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, fs::directory_options::skip_permission_denied, ec);
+      fs::recursive_directory_iterator end;
+      for (; !ec && it != end; it.increment(ec)) {
+        if (it->is_directory() && SkipDirectory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(Relative(it->path(), root_path));
+        }
+      }
+    } else if (fs::exists(p, ec)) {
+      files.push_back(Relative(p, root_path));
+    } else {
+      files.push_back(raw);  // Surfaces as an unreadable-file diagnostic.
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+RunSummary LintFiles(const std::string& root, const std::vector<std::string>& files,
+                     const LintConfig& config) {
+  const fs::path root_path(root);
+  RunSummary summary;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!ReadFile(root_path / file, &content)) {
+      summary.diagnostics.push_back(Diagnostic{"ras-driver", Severity::kError, file, 0,
+                                               "cannot read file"});
+      continue;
+    }
+    ++summary.files_scanned;
+
+    // A .cc sees its same-stem header's members (e.g. iterating a container
+    // the header declares unordered).
+    std::string companion;
+    fs::path p = root_path / file;
+    if (p.extension() == ".cc" || p.extension() == ".cpp") {
+      fs::path header = p;
+      header.replace_extension(".h");
+      std::error_code ec;
+      if (fs::exists(header, ec)) {
+        ReadFile(header, &companion);
+      }
+    }
+
+    FileLintResult result = AnalyzeSource(file, content, companion, config);
+    summary.suppressed += result.suppressed;
+    summary.diagnostics.insert(summary.diagnostics.end(), result.diagnostics.begin(),
+                               result.diagnostics.end());
+  }
+  return summary;
+}
+
+}  // namespace raslint
+}  // namespace ras

@@ -1,0 +1,31 @@
+// raslint driver: walks the tree, pairs .cc files with their same-stem
+// headers, runs the rules, and aggregates a RunSummary. Shared between the
+// CLI (raslint_main.cc) and the test suite's full-repo meta-scan.
+
+#ifndef RAS_TOOLS_RASLINT_DRIVER_H_
+#define RAS_TOOLS_RASLINT_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/raslint/report.h"
+#include "tools/raslint/rules.h"
+
+namespace ras {
+namespace raslint {
+
+// Expands `paths` (files or directories, relative to `root`) into a sorted,
+// de-duplicated list of repo-relative .h/.cc/.cpp files. Directory walks skip
+// hidden entries and any directory whose name starts with "build".
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::vector<std::string>& paths);
+
+// Lints every file in `files` (repo-relative; read from `root`). Unreadable
+// files become a diagnostic rather than a crash.
+RunSummary LintFiles(const std::string& root, const std::vector<std::string>& files,
+                     const LintConfig& config = LintConfig());
+
+}  // namespace raslint
+}  // namespace ras
+
+#endif  // RAS_TOOLS_RASLINT_DRIVER_H_

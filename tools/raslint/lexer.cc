@@ -1,0 +1,222 @@
+#include "tools/raslint/lexer.h"
+
+#include <cctype>
+
+namespace ras {
+namespace raslint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Parses NOLINT / NOLINTNEXTLINE directives out of one comment's text and
+// records them into `scan`. `line` is the line the comment starts on.
+void HarvestNolint(const std::string& comment, int line, FileScan& scan) {
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    std::set<std::string>& rules = scan.nolint[target];
+    if (after < comment.size() && comment[after] == '(') {
+      size_t close = comment.find(')', after);
+      std::string list = comment.substr(
+          after + 1, close == std::string::npos ? std::string::npos : close - after - 1);
+      std::string name;
+      for (char c : list) {
+        if (c == ',' || c == ' ') {
+          if (!name.empty()) rules.insert(name);
+          name.clear();
+        } else {
+          name.push_back(c);
+        }
+      }
+      if (!name.empty()) rules.insert(name);
+    } else {
+      rules.insert("*");  // Bare NOLINT: suppress everything on the line.
+    }
+    pos = after;
+  }
+}
+
+// Splits one whitespace-collapsed preprocessor line into directive + rest.
+void HandlePreprocessor(const std::string& directive, int line, FileScan& scan,
+                        std::string* pending_ifndef) {
+  size_t i = 1;  // Skip '#'.
+  while (i < directive.size() && std::isspace(static_cast<unsigned char>(directive[i]))) ++i;
+  size_t word_start = i;
+  while (i < directive.size() && IsIdentChar(directive[i])) ++i;
+  std::string word = directive.substr(word_start, i - word_start);
+  while (i < directive.size() && std::isspace(static_cast<unsigned char>(directive[i]))) ++i;
+
+  if (word == "include") {
+    if (i < directive.size() && (directive[i] == '"' || directive[i] == '<')) {
+      char open = directive[i];
+      char close = open == '<' ? '>' : '"';
+      size_t end = directive.find(close, i + 1);
+      if (end != std::string::npos) {
+        scan.includes.push_back(
+            Include{directive.substr(i + 1, end - i - 1), open == '<', line});
+      }
+    }
+  } else if (word == "ifndef") {
+    size_t name_end = i;
+    while (name_end < directive.size() && IsIdentChar(directive[name_end])) ++name_end;
+    if (!scan.guard.has_ifndef) {
+      scan.guard.has_ifndef = true;
+      scan.guard.ifndef_name = directive.substr(i, name_end - i);
+      *pending_ifndef = scan.guard.ifndef_name;
+    }
+  } else if (word == "define") {
+    size_t name_end = i;
+    while (name_end < directive.size() && IsIdentChar(directive[name_end])) ++name_end;
+    if (!pending_ifndef->empty() && directive.substr(i, name_end - i) == *pending_ifndef) {
+      scan.guard.has_define_match = true;
+      pending_ifndef->clear();
+    }
+  } else if (word == "pragma" && directive.compare(i, 4, "once") == 0) {
+    scan.guard.has_pragma_once = true;
+  }
+}
+
+}  // namespace
+
+FileScan Lex(const std::string& path, const std::string& content) {
+  FileScan scan;
+  scan.path = path;
+  std::string pending_ifndef;
+
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = content[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line; consume through any
+    // backslash continuations, collapsing to a single logical line.
+    if (c == '#' && at_line_start) {
+      int start_line = line;
+      std::string logical;
+      while (i < n) {
+        char d = content[i];
+        if (d == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          logical.push_back(' ');
+          advance(2);
+          continue;
+        }
+        if (d == '\n') break;
+        logical.push_back(d);
+        advance(1);
+      }
+      HandlePreprocessor(logical, start_line, scan, &pending_ifndef);
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      int start_line = line;
+      size_t end = content.find('\n', i);
+      std::string text =
+          content.substr(i, end == std::string::npos ? std::string::npos : end - i);
+      HarvestNolint(text, start_line, scan);
+      advance(text.size());
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      int start_line = line;
+      size_t end = content.find("*/", i + 2);
+      size_t len = end == std::string::npos ? n - i : end + 2 - i;
+      HarvestNolint(content.substr(i, len), start_line, scan);
+      advance(len);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t paren = content.find('(', i + 2);
+      if (paren != std::string::npos && paren - i - 2 <= 16) {
+        std::string delim = content.substr(i + 2, paren - i - 2);
+        std::string closer = ")" + delim + "\"";
+        size_t end = content.find(closer, paren + 1);
+        size_t len = end == std::string::npos ? n - i : end + closer.size() - i;
+        scan.tokens.push_back(Token{Token::Kind::kString, "", line});
+        advance(len);
+        continue;
+      }
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int start_line = line;
+      size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\n') break;  // Unterminated: stop at EOL.
+        ++j;
+      }
+      size_t len = (j < n ? j + 1 : n) - i;
+      scan.tokens.push_back(Token{Token::Kind::kString, "", start_line});
+      advance(len);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      scan.tokens.push_back(Token{Token::Kind::kIdentifier, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E')))) {
+        ++j;
+      }
+      scan.tokens.push_back(Token{Token::Kind::kNumber, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // "::" is one token so rules can match qualified names.
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      scan.tokens.push_back(Token{Token::Kind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+
+    scan.tokens.push_back(Token{Token::Kind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+
+  scan.num_lines = line;
+  return scan;
+}
+
+}  // namespace raslint
+}  // namespace ras

@@ -1,0 +1,69 @@
+// raslint's lexer: a line-aware C++ tokenizer, deliberately not a parser.
+//
+// The linter's rules are token-pattern rules (see tools/raslint/rules.cc), so
+// the lexer only needs to get four things exactly right:
+//   1. comments and string/char literals never produce identifier tokens
+//      (otherwise `// uses steady_clock` or "mt19937" in a string would
+//      trip a rule);
+//   2. every token knows its 1-based source line, for file:line diagnostics;
+//   3. `// NOLINT(ras-x)` / `// NOLINTNEXTLINE(ras-x)` suppressions are
+//      harvested from comments with the line they apply to;
+//   4. preprocessor lines are captured structurally (#include targets and
+//      the #ifndef/#define include-guard pair) instead of as tokens.
+
+#ifndef RAS_TOOLS_RASLINT_LEXER_H_
+#define RAS_TOOLS_RASLINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ras {
+namespace raslint {
+
+struct Token {
+  enum class Kind {
+    kIdentifier,  // [A-Za-z_][A-Za-z0-9_]*
+    kNumber,      // numeric literal (pp-number, loosely)
+    kString,      // string or char literal, raw strings included
+    kPunct,       // single punctuation char, except "::" which is one token
+  };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  std::string path;
+  bool angled;
+  int line;
+};
+
+// The first #ifndef/#define pair and any #pragma once, for guard checking.
+struct GuardInfo {
+  bool has_ifndef = false;
+  std::string ifndef_name;
+  bool has_define_match = false;  // A #define of ifndef_name follows.
+  bool has_pragma_once = false;
+};
+
+struct FileScan {
+  std::string path;  // Repo-relative with forward slashes.
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  GuardInfo guard;
+  // line -> rules suppressed on that line; the wildcard "*" suppresses all.
+  std::map<int, std::set<std::string>> nolint;
+  int num_lines = 0;
+};
+
+// Tokenizes `content`. Never fails: malformed input degrades to best-effort
+// tokens, which at worst means a rule misses — the linter must not be the
+// thing that breaks the build on weird-but-legal code.
+FileScan Lex(const std::string& path, const std::string& content);
+
+}  // namespace raslint
+}  // namespace ras
+
+#endif  // RAS_TOOLS_RASLINT_LEXER_H_

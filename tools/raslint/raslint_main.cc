@@ -1,0 +1,61 @@
+// raslint CLI.
+//
+//   raslint [--root=DIR] [--json=FILE] [--rule=ras-x ...] PATH...
+//
+// PATHs are files or directories, relative to --root (default: the current
+// directory). Exit code 0 = no errors (warnings allowed), 1 = errors found,
+// 2 = usage problem. CI runs `raslint --root=. --json=raslint.json src tools
+// tests` via the `raslint_check` CMake target.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/raslint/driver.h"
+#include "tools/raslint/report.h"
+#include "tools/raslint/rules.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  ras::raslint::LintConfig config;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      config.enabled_rules.insert(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: raslint [--root=DIR] [--json=FILE] [--rule=ras-x ...] PATH...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "raslint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "raslint: no paths given (try: raslint --root=. src tools tests)\n";
+    return 2;
+  }
+
+  std::vector<std::string> files = ras::raslint::CollectFiles(root, paths);
+  ras::raslint::RunSummary summary = ras::raslint::LintFiles(root, files, config);
+  ras::raslint::WriteText(summary, std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "raslint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    ras::raslint::WriteJson(summary, json);
+  }
+  return summary.errors() > 0 ? 1 : 0;
+}

@@ -1,0 +1,84 @@
+#include "tools/raslint/report.h"
+
+#include <cstdio>
+
+namespace ras {
+namespace raslint {
+namespace {
+
+void JsonEscape(const std::string& s, std::ostream& os) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int RunSummary::errors() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+int RunSummary::warnings() const {
+  return static_cast<int>(diagnostics.size()) - errors();
+}
+
+void WriteText(const RunSummary& summary, std::ostream& os) {
+  for (const Diagnostic& d : summary.diagnostics) {
+    os << d.file << ":" << d.line << ": " << SeverityName(d.severity) << ": [" << d.rule
+       << "] " << d.message << "\n";
+  }
+  os << "raslint: " << summary.files_scanned << " files scanned, " << summary.errors()
+     << " errors, " << summary.warnings() << " warnings, " << summary.suppressed
+     << " suppressed\n";
+}
+
+void WriteJson(const RunSummary& summary, std::ostream& os) {
+  os << "{\n"
+     << "  \"tool\": \"raslint\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"files_scanned\": " << summary.files_scanned << ",\n"
+     << "  \"errors\": " << summary.errors() << ",\n"
+     << "  \"warnings\": " << summary.warnings() << ",\n"
+     << "  \"suppressed\": " << summary.suppressed << ",\n"
+     << "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : summary.diagnostics) {
+    os << (first ? "\n" : ",\n") << "    {\"file\": \"";
+    JsonEscape(d.file, os);
+    os << "\", \"line\": " << d.line << ", \"rule\": \"";
+    JsonEscape(d.rule, os);
+    os << "\", \"severity\": \"" << SeverityName(d.severity) << "\", \"message\": \"";
+    JsonEscape(d.message, os);
+    os << "\"}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+}  // namespace raslint
+}  // namespace ras

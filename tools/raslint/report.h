@@ -1,0 +1,48 @@
+// Diagnostic rendering: human-readable text and the machine-readable JSON
+// report CI uploads as an artifact.
+//
+// JSON schema (schema_version 1):
+//   {
+//     "tool": "raslint",
+//     "schema_version": 1,
+//     "files_scanned": <int>,
+//     "errors": <int>,
+//     "warnings": <int>,
+//     "suppressed": <int>,
+//     "diagnostics": [
+//       {"file": "...", "line": <int>, "rule": "ras-...",
+//        "severity": "error"|"warning", "message": "..."}
+//     ]
+//   }
+
+#ifndef RAS_TOOLS_RASLINT_REPORT_H_
+#define RAS_TOOLS_RASLINT_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tools/raslint/rules.h"
+
+namespace ras {
+namespace raslint {
+
+struct RunSummary {
+  std::vector<Diagnostic> diagnostics;
+  int files_scanned = 0;
+  int suppressed = 0;
+
+  int errors() const;
+  int warnings() const;
+};
+
+// "src/x.cc:12: error: [ras-wall-clock] ..." per diagnostic, plus a summary
+// line.
+void WriteText(const RunSummary& summary, std::ostream& os);
+
+void WriteJson(const RunSummary& summary, std::ostream& os);
+
+}  // namespace raslint
+}  // namespace ras
+
+#endif  // RAS_TOOLS_RASLINT_REPORT_H_

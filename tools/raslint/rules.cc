@@ -1,0 +1,432 @@
+#include "tools/raslint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ras {
+namespace raslint {
+namespace {
+
+constexpr const char* kUnorderedIteration = "ras-unordered-iteration";
+constexpr const char* kWallClock = "ras-wall-clock";
+constexpr const char* kUnseededRng = "ras-unseeded-rng";
+constexpr const char* kNakedThread = "ras-naked-thread";
+constexpr const char* kFloatMoney = "ras-float-money";
+constexpr const char* kIncludeHygiene = "ras-include-hygiene";
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool PathMatchesAny(const std::string& path, const std::vector<std::string>& needles) {
+  for (const std::string& n : needles) {
+    if (Contains(path, n)) return true;
+  }
+  return false;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdentifier && t.text == text;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+// First two components of a repo-relative path: "src/core/foo.h" -> "src/core".
+std::string DirKey(const std::string& path) {
+  size_t first = path.find('/');
+  if (first == std::string::npos) return path;
+  size_t second = path.find('/', first + 1);
+  return second == std::string::npos ? path : path.substr(0, second);
+}
+
+class RuleContext {
+ public:
+  RuleContext(const FileScan& scan, const LintConfig& config, FileLintResult& out)
+      : scan_(scan), config_(config), out_(out) {}
+
+  bool RuleEnabled(const std::string& rule) const {
+    return config_.enabled_rules.empty() || config_.enabled_rules.count(rule) > 0;
+  }
+
+  // Appends the diagnostic unless a NOLINT on its line suppresses it.
+  void Emit(const char* rule, Severity severity, int line, std::string message) {
+    auto it = scan_.nolint.find(line);
+    if (it != scan_.nolint.end() &&
+        (it->second.count("*") > 0 || it->second.count(rule) > 0)) {
+      ++out_.suppressed;
+      return;
+    }
+    out_.diagnostics.push_back(Diagnostic{rule, severity, scan_.path, line, std::move(message)});
+  }
+
+  const FileScan& scan() const { return scan_; }
+  const LintConfig& config() const { return config_; }
+
+ private:
+  const FileScan& scan_;
+  const LintConfig& config_;
+  FileLintResult& out_;
+};
+
+// --- ras-unordered-iteration -------------------------------------------------
+
+// Collects names declared with an unordered container type: after
+// `unordered_map</set<` and its balanced template argument list, the next
+// identifier (past `*`/`&`) is taken as the declared name. Declarations whose
+// name is immediately followed by `(` are functions returning the type and
+// are skipped.
+void HarvestUnorderedNames(const FileScan& scan, std::set<std::string>& names) {
+  const std::vector<Token>& toks = scan.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "unordered_map") && !IsIdent(toks[i], "unordered_set")) continue;
+    size_t j = i + 1;
+    if (j >= toks.size() || !IsPunct(toks[j], "<")) continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (IsPunct(toks[j], "<")) ++depth;
+      if (IsPunct(toks[j], ">")) {
+        if (--depth == 0) break;
+      }
+    }
+    if (j >= toks.size()) continue;
+    ++j;  // Past the closing '>'.
+    if (j < toks.size() && IsPunct(toks[j], "::")) continue;  // ::iterator etc.
+    while (j < toks.size() && (IsPunct(toks[j], "*") || IsPunct(toks[j], "&"))) ++j;
+    if (j >= toks.size() || toks[j].kind != Token::Kind::kIdentifier) continue;
+    if (j + 1 < toks.size() && IsPunct(toks[j + 1], "(")) continue;  // Function decl.
+    names.insert(toks[j].text);
+  }
+}
+
+void CheckUnorderedIteration(RuleContext& ctx, const FileScan* companion) {
+  if (!ctx.RuleEnabled(kUnorderedIteration)) return;
+  if (std::none_of(ctx.config().solver_path_dirs.begin(), ctx.config().solver_path_dirs.end(),
+                   [&](const std::string& d) { return StartsWith(ctx.scan().path, d); })) {
+    return;
+  }
+
+  std::set<std::string> unordered_names;
+  HarvestUnorderedNames(ctx.scan(), unordered_names);
+  if (companion != nullptr) HarvestUnorderedNames(*companion, unordered_names);
+  if (unordered_names.empty()) return;
+
+  const std::vector<Token>& toks = ctx.scan().tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression mentions an unordered container.
+    if (IsIdent(toks[i], "for") && i + 1 < toks.size() && IsPunct(toks[i + 1], "(")) {
+      int depth = 0;
+      size_t colon = 0;
+      size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "(")) ++depth;
+        if (IsPunct(toks[j], ")")) {
+          if (--depth == 0) break;
+        }
+        if (depth == 1 && IsPunct(toks[j], ":") && colon == 0) colon = j;
+      }
+      if (colon == 0 || j >= toks.size()) continue;
+      for (size_t k = colon + 1; k < j; ++k) {
+        // `a.b` only matches when b follows the trailing-underscore member
+        // convention (companion-header members): a plain `a.b` is some other
+        // struct's field that happens to share a harvested name.
+        bool member_access =
+            k > 0 && (IsPunct(toks[k - 1], ".") || IsPunct(toks[k - 1], "->"));
+        if (member_access && !EndsWith(toks[k].text, "_")) continue;
+        if (toks[k].kind == Token::Kind::kIdentifier &&
+            unordered_names.count(toks[k].text)) {
+          ctx.Emit(kUnorderedIteration, Severity::kError, toks[i].line,
+                   "range-for over unordered container '" + toks[k].text +
+                       "': hash order can leak into solver output; use std::map / a sorted "
+                       "vector, or justify with NOLINT");
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walks / bulk copies: name.begin() and friends. Only
+    // the begin family — `it != c.end()` is the find()-lookup sentinel, which
+    // never observes hash order on its own.
+    bool member_access = i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    if (member_access && !EndsWith(toks[i].text, "_")) continue;
+    if (toks[i].kind == Token::Kind::kIdentifier &&
+        unordered_names.count(toks[i].text) && i + 3 < toks.size() &&
+        IsPunct(toks[i + 1], ".") && toks[i + 2].kind == Token::Kind::kIdentifier &&
+        IsPunct(toks[i + 3], "(")) {
+      const std::string& member = toks[i + 2].text;
+      if (member == "begin" || member == "cbegin" || member == "rbegin") {
+        ctx.Emit(kUnorderedIteration, Severity::kError, toks[i].line,
+                 "iterator over unordered container '" + toks[i].text +
+                     "': hash order can leak into solver output");
+      }
+    }
+  }
+}
+
+// --- ras-wall-clock ----------------------------------------------------------
+
+void CheckWallClock(RuleContext& ctx) {
+  if (!ctx.RuleEnabled(kWallClock)) return;
+  if (PathMatchesAny(ctx.scan().path, ctx.config().wall_clock_allowlist)) return;
+
+  const std::vector<Token>& toks = ctx.scan().tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+
+    // Clock types: nondeterministic in any position.
+    if (t == "steady_clock" || t == "system_clock" || t == "high_resolution_clock" ||
+        t == "gettimeofday" || t == "clock_gettime" || t == "localtime" || t == "gmtime") {
+      ctx.Emit(kWallClock, Severity::kError, toks[i].line,
+               "wall-clock source '" + t + "' outside util::MonotonicSeconds(); solver code "
+               "must use src/util/monotonic_time (elapsed time) or SimTime (event time)");
+      continue;
+    }
+    if (t == "random_device") {
+      ctx.Emit(kWallClock, Severity::kError, toks[i].line,
+               "std::random_device is a nondeterministic seed source; thread an explicit "
+               "seed through ras::Rng instead");
+      continue;
+    }
+
+    // C library calls: rand()/srand()/time()/clock(). Only as direct calls;
+    // `foo.time()` is someone's method, `MyNs::time()` is not the C library.
+    if ((t == "rand" || t == "srand" || t == "time" || t == "clock") && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "(")) {
+      bool qualified = i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "::"));
+      bool std_qualified =
+          i >= 2 && IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2], "std");
+      if (!qualified || std_qualified) {
+        ctx.Emit(kWallClock, Severity::kError, toks[i].line,
+                 "'" + t + "()' reads global wall-clock/RNG state; use "
+                 "util::MonotonicSeconds() or ras::Rng");
+      }
+    }
+  }
+}
+
+// --- ras-unseeded-rng --------------------------------------------------------
+
+void CheckUnseededRng(RuleContext& ctx) {
+  if (!ctx.RuleEnabled(kUnseededRng)) return;
+  static const std::set<std::string> kEngines = {
+      "mt19937",        "mt19937_64",   "minstd_rand",   "minstd_rand0", "ranlux24",
+      "ranlux48",       "ranlux24_base", "ranlux48_base", "knuth_b",
+      "default_random_engine", "Rng"};
+
+  const std::vector<Token>& toks = ctx.scan().tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier || kEngines.count(toks[i].text) == 0) continue;
+    if (i > 0 && IsPunct(toks[i - 1], ".")) continue;  // Member access, not a type.
+    if (i + 1 >= toks.size()) continue;
+    const std::string& engine = toks[i].text;
+
+    auto flag = [&](int line) {
+      ctx.Emit(kUnseededRng, Severity::kError, line,
+               "'" + engine + "' constructed without an explicit seed: output depends on "
+               "implementation/default state; pass a seed so runs replay bit-identically");
+    };
+
+    // Temporary with no arguments: Engine() / Engine{}.
+    if (i + 2 < toks.size() && IsPunct(toks[i + 1], "(") && IsPunct(toks[i + 2], ")")) {
+      flag(toks[i].line);
+      continue;
+    }
+    if (i + 2 < toks.size() && IsPunct(toks[i + 1], "{") && IsPunct(toks[i + 2], "}")) {
+      flag(toks[i].line);
+      continue;
+    }
+    // Declaration without initializer: `Engine name;` or `Engine name{}`.
+    // Trailing-underscore names are members (seeded in the constructor's
+    // init list, which a token scan cannot see) and are skipped. ras::Rng is
+    // also skipped here: it has no default constructor, so a bare declaration
+    // can only be a member the compiler forces to be seed-constructed.
+    if (engine == "Rng") continue;
+    if (toks[i + 1].kind == Token::Kind::kIdentifier && !EndsWith(toks[i + 1].text, "_")) {
+      if (i + 2 < toks.size() && IsPunct(toks[i + 2], ";")) {
+        flag(toks[i].line);
+      } else if (i + 3 < toks.size() && IsPunct(toks[i + 2], "{") && IsPunct(toks[i + 3], "}")) {
+        flag(toks[i].line);
+      }
+    }
+  }
+}
+
+// --- ras-naked-thread --------------------------------------------------------
+
+void CheckNakedThread(RuleContext& ctx) {
+  if (!ctx.RuleEnabled(kNakedThread)) return;
+  if (PathMatchesAny(ctx.scan().path, ctx.config().thread_allowlist)) return;
+
+  const std::vector<Token>& toks = ctx.scan().tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    if (t == "pthread_create") {
+      ctx.Emit(kNakedThread, Severity::kError, toks[i].line,
+               "raw pthread_create outside src/util/thread_pool; submit work to a ThreadPool");
+      continue;
+    }
+    if (t != "thread" && t != "jthread" && t != "async") continue;
+    bool std_qualified = i >= 2 && IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2], "std");
+    if (!std_qualified) continue;
+    // std::thread::hardware_concurrency() is a capability query, not a spawn.
+    if (i + 1 < toks.size() && IsPunct(toks[i + 1], "::")) continue;
+    ctx.Emit(kNakedThread, Severity::kError, toks[i].line,
+             "std::" + t + " outside src/util/thread_pool; all concurrency rides on "
+             "ThreadPool so TSan and the thread-safety annotations cover it");
+  }
+}
+
+// --- ras-float-money ---------------------------------------------------------
+
+// Identifiers that carry whole-RRU ledger quantities: these must stay
+// integral end to end. RRU is double by design almost everywhere in this
+// repo (compute_units throughput scalars, fractional demand); the integer
+// ledger is specifically the demand splitter's largest-remainder
+// apportionment in src/shard/, so bare `units` names are only ledger
+// quantities there. Explicit rru_units / integer_rru names are ledger
+// quantities wherever they appear.
+bool IsIntegerLedgerName(const std::string& name, bool in_ledger_dir) {
+  if (Contains(name, "rru_units") || Contains(name, "integer_rru")) return true;
+  return in_ledger_dir && (name == "units" || EndsWith(name, "_units"));
+}
+
+void CheckFloatMoney(RuleContext& ctx) {
+  if (!ctx.RuleEnabled(kFloatMoney)) return;
+  const bool in_ledger_dir = StartsWith(ctx.scan().path, "src/shard/");
+  const std::vector<Token>& toks = ctx.scan().tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    bool is_float = IsIdent(toks[i], "float");
+    bool is_double = IsIdent(toks[i], "double");
+    if (!is_float && !is_double) continue;
+    size_t j = i + 1;
+    while (j < toks.size() && (IsPunct(toks[j], "*") || IsPunct(toks[j], "&"))) ++j;
+    if (j >= toks.size() || toks[j].kind != Token::Kind::kIdentifier) continue;
+    const std::string& name = toks[j].text;
+    if (IsIntegerLedgerName(name, in_ledger_dir)) {
+      ctx.Emit(kFloatMoney, Severity::kError, toks[i].line,
+               "'" + name + "' is an integer-RRU ledger quantity declared " +
+                   (is_float ? "float" : "double") +
+                   "; conservation arithmetic must stay int64 (see demand_splitter)");
+    } else if (is_float && (Contains(name, "rru") || Contains(name, "capacity"))) {
+      ctx.Emit(kFloatMoney, Severity::kError, toks[i].line,
+               "'" + name + "' holds RRU/capacity in float; use double (fractional) or "
+               "int64 (ledger) — float accumulation drifts");
+    }
+  }
+}
+
+// --- ras-include-hygiene -----------------------------------------------------
+
+void CheckIncludeHygiene(RuleContext& ctx) {
+  if (!ctx.RuleEnabled(kIncludeHygiene)) return;
+  const FileScan& scan = ctx.scan();
+  const std::string& path = scan.path;
+  const bool is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  const bool in_repo_tree = StartsWith(path, "src/") || StartsWith(path, "tools/") ||
+                            StartsWith(path, "tests/") || StartsWith(path, "bench/");
+
+  if (is_header && in_repo_tree) {
+    if (!scan.guard.has_pragma_once &&
+        (!scan.guard.has_ifndef || !scan.guard.has_define_match)) {
+      ctx.Emit(kIncludeHygiene, Severity::kError, 1,
+               "header has no include guard (#ifndef/#define pair or #pragma once)");
+    } else if (scan.guard.has_ifndef && scan.guard.ifndef_name != CanonicalGuard(path)) {
+      ctx.Emit(kIncludeHygiene, Severity::kWarning, 1,
+               "include guard '" + scan.guard.ifndef_name + "' should be '" +
+                   CanonicalGuard(path) + "'");
+    }
+  }
+
+  const std::string dir = DirKey(path);
+  for (const Include& inc : scan.includes) {
+    if (inc.angled) continue;  // System/third-party headers.
+    const bool repo_rooted = StartsWith(inc.path, "src/") || StartsWith(inc.path, "tools/") ||
+                             StartsWith(inc.path, "tests/") || StartsWith(inc.path, "bench/");
+    if (!repo_rooted) {
+      if (in_repo_tree) {
+        ctx.Emit(kIncludeHygiene, Severity::kError, inc.line,
+                 "quoted include \"" + inc.path +
+                     "\" is not repo-root-relative; include as \"src/...\"");
+      }
+      continue;
+    }
+    if (StartsWith(path, "src/") &&
+        (StartsWith(inc.path, "tests/") || StartsWith(inc.path, "bench/"))) {
+      ctx.Emit(kIncludeHygiene, Severity::kError, inc.line,
+               "production code must not include \"" + inc.path + "\" from tests/bench");
+      continue;
+    }
+    if (StartsWith(path, "src/")) {
+      const std::string target = DirKey(inc.path);
+      if (target == dir || target == "src/util") continue;
+      auto it = ctx.config().include_edges.find(dir);
+      if (it == ctx.config().include_edges.end() || it->second.count(target) == 0) {
+        ctx.Emit(kIncludeHygiene, Severity::kError, inc.line,
+                 "layering violation: " + dir + " may not include from " + target +
+                     " (allowed edges live in tools/raslint/rules.h; extending them is an "
+                     "architecture decision, not a lint fix)");
+      }
+    } else if (StartsWith(path, "tools/")) {
+      if (!StartsWith(inc.path, "tools/")) {
+        ctx.Emit(kIncludeHygiene, Severity::kError, inc.line,
+                 "tools/ is self-contained and may not include \"" + inc.path + "\"");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string CanonicalGuard(const std::string& path) {
+  std::string guard = "RAS_";
+  for (char c : path) {
+    guard.push_back(std::isalnum(static_cast<unsigned char>(c))
+                        ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                        : '_');
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+FileLintResult AnalyzeSource(const std::string& path, const std::string& content,
+                             const std::string& companion_content, const LintConfig& config) {
+  FileLintResult out;
+  FileScan scan = Lex(path, content);
+  FileScan companion;
+  const FileScan* companion_ptr = nullptr;
+  if (!companion_content.empty()) {
+    companion = Lex(path, companion_content);
+    companion_ptr = &companion;
+  }
+
+  RuleContext ctx(scan, config, out);
+  CheckUnorderedIteration(ctx, companion_ptr);
+  CheckWallClock(ctx);
+  CheckUnseededRng(ctx);
+  CheckNakedThread(ctx);
+  CheckFloatMoney(ctx);
+  CheckIncludeHygiene(ctx);
+
+  std::stable_sort(out.diagnostics.begin(), out.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
+  return out;
+}
+
+}  // namespace raslint
+}  // namespace ras

@@ -1,0 +1,100 @@
+// raslint rule engine: RAS-specific determinism & concurrency invariants.
+//
+// Six rules, all token-level (see DESIGN.md "Static analysis" for the full
+// catalogue and rationale):
+//
+//   ras-unordered-iteration  iteration over std::unordered_map/set in
+//                            solver-path dirs, where hash order can leak into
+//                            solver output. Lookup-only containers are fine
+//                            and are not flagged.
+//   ras-wall-clock           any wall-clock read (std::chrono *_clock,
+//                            time()/clock(), std::random_device, rand) outside
+//                            the sanctioned util::MonotonicSeconds() helper.
+//   ras-unseeded-rng         RNG engines constructed without an explicit seed.
+//   ras-naked-thread         std::thread / std::async outside
+//                            src/util/thread_pool.
+//   ras-float-money          float/double creeping into integer-RRU ledger
+//                            identifiers (and `float` on any rru/capacity
+//                            value).
+//   ras-include-hygiene      missing/misnamed include guards, non-repo-rooted
+//                            quoted includes, and cross-directory includes
+//                            outside the allowed layering edges.
+//
+// Suppression: `// NOLINT(ras-rule)` on the offending line, or
+// `// NOLINTNEXTLINE(ras-rule)` on the line before; bare NOLINT suppresses
+// every rule on its line. Suppressed diagnostics are counted, not dropped
+// silently.
+
+#ifndef RAS_TOOLS_RASLINT_RULES_H_
+#define RAS_TOOLS_RASLINT_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/raslint/lexer.h"
+
+namespace ras {
+namespace raslint {
+
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+struct Diagnostic {
+  std::string rule;
+  Severity severity;
+  std::string file;
+  int line;
+  std::string message;
+};
+
+struct LintConfig {
+  // Rules to run; empty = all.
+  std::set<std::string> enabled_rules;
+  // Directory prefixes where iteration order is solver-visible.
+  std::vector<std::string> solver_path_dirs = {"src/solver/", "src/core/", "src/shard/",
+                                               "src/broker/", "src/twine/"};
+  // Path substrings allowed to read the wall clock / spawn raw threads.
+  std::vector<std::string> wall_clock_allowlist = {"src/util/monotonic_time."};
+  std::vector<std::string> thread_allowlist = {"src/util/thread_pool."};
+  // Allowed cross-directory include edges for src/<dir> files. Every dir may
+  // also include itself and src/util implicitly.
+  std::map<std::string, std::set<std::string>> include_edges = {
+      {"src/topology", {}},
+      {"src/solver", {}},
+      {"src/fleet", {"src/topology"}},
+      {"src/broker", {"src/topology"}},
+      {"src/faults", {"src/core"}},
+      {"src/health", {"src/broker", "src/topology"}},
+      {"src/twine", {"src/broker", "src/topology"}},
+      {"src/shard", {"src/core", "src/topology"}},
+      {"src/core",
+       {"src/broker", "src/faults", "src/fleet", "src/shard", "src/sim", "src/solver",
+        "src/topology", "src/twine"}},
+      {"src/sim",
+       {"src/core", "src/faults", "src/fleet", "src/health", "src/twine"}},
+  };
+};
+
+struct FileLintResult {
+  std::vector<Diagnostic> diagnostics;
+  int suppressed = 0;
+};
+
+// Runs every enabled rule over `content`. `companion_content` is the file's
+// same-stem header (empty if none): member containers declared there are in
+// scope for the iteration rule when linting the .cc.
+FileLintResult AnalyzeSource(const std::string& path, const std::string& content,
+                             const std::string& companion_content = std::string(),
+                             const LintConfig& config = LintConfig());
+
+// The canonical include guard for a repo-relative header path:
+// "src/util/mutex.h" -> "RAS_SRC_UTIL_MUTEX_H_".
+std::string CanonicalGuard(const std::string& path);
+
+}  // namespace raslint
+}  // namespace ras
+
+#endif  // RAS_TOOLS_RASLINT_RULES_H_
