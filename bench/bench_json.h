@@ -18,6 +18,8 @@
 
 #include <sys/utsname.h>
 
+#include "src/util/file_io.h"
+
 namespace ras {
 namespace bench {
 
@@ -92,25 +94,25 @@ class BenchJsonWriter {
     return records_.back();
   }
 
-  // Returns false (and prints to stderr) if the file cannot be written.
+  // Atomic (temp + rename): an interrupted bench leaves the previous
+  // artifact intact, never a half-written JSON file. Returns false (and
+  // prints to stderr) if the file cannot be written.
   bool WriteFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
-      return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    std::string out = "{\n  \"bench\": \"" + bench_ + "\",\n";
     std::string meta = meta_.ToString();
     if (meta.size() > 2) {  // More than the empty "{}".
-      std::fprintf(f, "  %s,\n", std::string(meta.begin() + 1, meta.end() - 1).c_str());
+      out += "  " + std::string(meta.begin() + 1, meta.end() - 1) + ",\n";
     }
-    std::fprintf(f, "  \"records\": [\n");
+    out += "  \"records\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
-      std::fprintf(f, "    %s%s\n", records_[i].ToString().c_str(),
-                   i + 1 < records_.size() ? "," : "");
+      out += "    " + records_[i].ToString() + (i + 1 < records_.size() ? "," : "") + "\n";
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    out += "  ]\n}\n";
+    Status written = AtomicWriteFile(path, out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench_json: %s\n", written.ToString().c_str());
+      return false;
+    }
     return true;
   }
 

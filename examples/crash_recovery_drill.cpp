@@ -1,0 +1,141 @@
+// Crash-recovery drill: runs a durable control plane through an admit +
+// solve cycle, kills the "process" at an injected crash point inside the
+// persist barrier, then restarts over the same directory and prints the
+// recovery report — checkpoint chosen, records replayed, torn bytes
+// dropped, and whether every state digest verified.
+//
+// Build & run:  ./build/examples/crash_recovery_drill [durable-dir]
+// With no argument the drill uses ./crash_recovery_drill.state.
+
+#include <cstdio>
+#include <string>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "src/journal/checkpoint.h"
+#include "src/sim/scenario.h"
+
+using namespace ras;
+
+namespace {
+
+// The drill is repeatable: wipe any state a previous run left behind.
+void WipeDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return;
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+ScenarioOptions DrillOptions(const std::string& dir) {
+  ScenarioOptions options;
+  options.fleet.num_datacenters = 2;
+  options.fleet.msbs_per_datacenter = 2;
+  options.fleet.racks_per_msb = 3;
+  options.fleet.servers_per_rack = 6;
+  options.fleet.seed = 11;
+  options.seed = 11;
+  options.durable_dir = dir;
+  return options;  // 72 servers.
+}
+
+ReservationSpec Spec(const RegionScenario& s, const std::string& name, double capacity) {
+  ReservationSpec spec;
+  spec.name = name;
+  spec.capacity_rru = capacity;
+  spec.rru_per_type.assign(s.fleet.catalog.size(), 1.0);
+  return spec;
+}
+
+void PrintReport(const journal::RecoveryReport& report) {
+  std::printf("  status                 %s\n", report.status.ToString().c_str());
+  std::printf("  recovered state        %s\n", report.recovered_state ? "yes" : "no (bootstrap)");
+  std::printf("  checkpoint generation  %llu (%d candidate%s tried)\n",
+              static_cast<unsigned long long>(report.checkpoint_generation),
+              report.checkpoints_tried, report.checkpoints_tried == 1 ? "" : "s");
+  std::printf("  records replayed       %zu\n", report.records_replayed);
+  std::printf("  torn tail dropped      %zu record(s), %zu byte(s)\n",
+              report.torn_records_dropped, report.torn_bytes_dropped);
+  std::printf("  aborted batches        %zu skipped\n", report.aborted_batches_skipped);
+  std::printf("  digests checked        %zu%s\n", report.digests_checked,
+              report.digests_checked == 0 ? ""
+              : report.digest_verified  ? ", all verified"
+                                        : ", MISMATCH");
+  std::printf("  next generation        %llu\n",
+              static_cast<unsigned long long>(report.next_generation));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "crash_recovery_drill.state";
+  WipeDir(dir);
+
+  // --- Life before the crash: bootstrap, admit, solve, admit again. ---
+  std::printf("[1] bootstrap in %s\n", dir.c_str());
+  CrashPointInjector injector;
+  uint64_t generation_at_crash = 0;
+  uint32_t last_durable_digest = 0;
+  {
+    RegionScenario s(DrillOptions(dir));
+    PrintReport(s.recovery);
+    Result<ReservationId> ranker = s.AdmitReservation(Spec(s, "feed-ranker", 20));
+    if (!ranker.ok()) {
+      std::printf("admit failed: %s\n", ranker.status().ToString().c_str());
+      return 1;
+    }
+    if (!s.SolveRound().ok()) {
+      return 1;
+    }
+    std::printf("\n[2] round 1 solved: %zu servers granted to feed-ranker, generation %llu\n",
+                s.broker->CountInReservation(*ranker),
+                static_cast<unsigned long long>(s.durable->generation()));
+    (void)s.AdmitReservation(Spec(s, "ads-scorer", 12));
+    last_durable_digest = journal::StateDigest(*s.broker, s.registry);
+
+    // --- The crash: die mid-apply inside round 2's persist barrier. The
+    // intent record is already fsynced, so the batch is redone at recovery.
+    s.durable->SetCrashInjector(&injector);
+    injector.Arm(CrashPoint::kMidApply);
+    generation_at_crash = s.durable->generation();
+    (void)s.SolveRound();
+    std::printf("\n[3] crashed at %s — control plane dead: %s\n",
+                CrashPointName(CrashPoint::kMidApply), s.durable->dead() ? "yes" : "no");
+  }
+
+  // --- Restart: a fresh process over the same directory. ---
+  std::printf("\n[4] restart + recovery\n");
+  RegionScenario r(DrillOptions(dir));
+  PrintReport(r.recovery);
+  if (!r.recovery.status.ok()) {
+    return 1;
+  }
+  uint32_t recovered_digest = journal::StateDigest(*r.broker, r.registry);
+  std::printf("\n[5] recovered region: %zu reservations, generation %llu (was %llu at crash)\n",
+              r.registry.size(), static_cast<unsigned long long>(r.durable->generation()),
+              static_cast<unsigned long long>(generation_at_crash));
+  for (const ReservationSpec* spec : r.registry.All()) {
+    std::printf("  %-16s granted %zu servers\n", spec->name.c_str(),
+                r.broker->CountInReservation(spec->id));
+  }
+  std::printf("  pre-crash admit digest %08x, recovered digest %08x — the\n"
+              "  recovered state includes the redone round-2 batch, so the two\n"
+              "  differ exactly when the crashed round's intent was durable.\n",
+              last_durable_digest, recovered_digest);
+
+  // Life goes on: the recovered control plane keeps solving.
+  if (!r.SolveRound().ok()) {
+    return 1;
+  }
+  std::printf("\n[6] post-recovery round solved; generation now %llu\n",
+              static_cast<unsigned long long>(r.durable->generation()));
+  return 0;
+}

@@ -120,7 +120,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
                                       std::to_string(broker_->generation()) + ")");
   }
 
-  Status persisted = broker_->ApplyTargets(decoded.targets);
+  Status persisted = persistence_ != nullptr
+                         ? persistence_->PersistTargets(*broker_, decoded.targets)
+                         : broker_->ApplyTargets(decoded.targets);
   if (!persisted.ok()) {
     ++stats_.persist_failures;
     return persisted;

@@ -59,6 +59,17 @@ inline bool ProducedAssignment(LadderRung rung) {
   return static_cast<uint8_t>(rung) <= static_cast<uint8_t>(LadderRung::kIncumbent);
 }
 
+// Pluggable persistence barrier for solver results. The default path is a
+// bare broker ApplyTargets; a durable control plane (src/journal) implements
+// this to journal the batch as an intent record before the broker sees a
+// write, so a crash mid-apply is redone at recovery instead of lost.
+class TargetPersistence {
+ public:
+  virtual ~TargetPersistence() = default;
+  virtual Status PersistTargets(ResourceBroker& broker,
+                                const std::vector<std::pair<ServerId, ReservationId>>& targets) = 0;
+};
+
 struct SupervisorConfig {
   // Extra attempts at the full-two-phase rung before degrading. Retries are
   // the cheapest rung of the ladder: the same solve, just later.
@@ -143,6 +154,10 @@ class SolverSupervisor {
   // it does not take ownership.
   void SetFaultInjector(FaultInjector* injector);
 
+  // Routes successful solve results through `persistence` instead of a bare
+  // broker ApplyTargets (nullptr restores the default). Not owned.
+  void SetTargetPersistence(TargetPersistence* persistence) { persistence_ = persistence; }
+
   // One supervised solver round: walk the ladder until a rung serves. Must be
   // called from outside EventLoop callbacks (backoff re-enters the loop).
   // Never "fails" — the bottom rungs always serve — but the outcome records
@@ -178,6 +193,7 @@ class SolverSupervisor {
   EventLoop* loop_;
   SupervisorConfig config_;
   FaultInjector* injector_ = nullptr;
+  TargetPersistence* persistence_ = nullptr;
   Rng rng_;
   int next_round_ = 0;
   bool emergency_armed_ = false;

@@ -1,7 +1,9 @@
 #include "src/core/state_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -9,49 +11,6 @@ namespace ras {
 namespace {
 
 constexpr char kHeader[] = "ras-state v1";
-
-// Field separator escape: names are free-form text.
-std::string Escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '|') {
-      out += "%7C";
-    } else if (c == '\n') {
-      out += "%0A";
-    } else if (c == '%') {
-      out += "%25";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-std::string Unescape(const std::string& s) {
-  std::string out;
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '%' && i + 2 < s.size()) {
-      std::string hex = s.substr(i + 1, 2);
-      if (hex == "7C") {
-        out += '|';
-        i += 2;
-        continue;
-      }
-      if (hex == "0A") {
-        out += '\n';
-        i += 2;
-        continue;
-      }
-      if (hex == "25") {
-        out += '%';
-        i += 2;
-        continue;
-      }
-    }
-    out += s[i];
-  }
-  return out;
-}
 
 std::vector<std::string> Split(const std::string& line, char sep) {
   std::vector<std::string> fields;
@@ -86,6 +45,23 @@ bool TextToId(const std::string& text, ReservationId* id) {
   return true;
 }
 
+// Strict double parse: the whole field must be a finite number.
+bool TextToDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// A capacity or per-type RRU value: finite, non-negative, bounded.
+bool ValidRru(double value) { return value >= 0.0 && value <= kMaxStateRru; }
+
 constexpr unsigned kFlagBuffered = 1u;
 constexpr unsigned kFlagSharedBuffer = 2u;
 constexpr unsigned kFlagElastic = 4u;
@@ -94,39 +70,182 @@ constexpr unsigned kFlagExternal = 16u;
 
 }  // namespace
 
+std::string EscapeStateField(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '|') {
+      out += "%7C";
+    } else if (c == '\n') {
+      out += "%0A";
+    } else if (c == '%') {
+      out += "%25";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeStateField(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      std::string hex = s.substr(i + 1, 2);
+      if (hex == "7C") {
+        out += '|';
+        i += 2;
+        continue;
+      }
+      if (hex == "0A") {
+        out += '\n';
+        i += 2;
+        continue;
+      }
+      if (hex == "25") {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+std::string SerializeReservationRecord(const ReservationSpec& spec) {
+  std::ostringstream out;
+  char buf[64];
+  unsigned flags = (spec.needs_correlated_buffer ? kFlagBuffered : 0) |
+                   (spec.is_shared_random_buffer ? kFlagSharedBuffer : 0) |
+                   (spec.is_elastic ? kFlagElastic : 0) | (spec.is_storage ? kFlagStorage : 0) |
+                   (spec.externally_managed ? kFlagExternal : 0);
+  out << "reservation|" << spec.id << "|" << EscapeStateField(spec.name) << "|";
+  std::snprintf(buf, sizeof(buf), "%.9g", spec.capacity_rru);
+  out << buf << "|" << flags << "|";
+  std::snprintf(buf, sizeof(buf), "%.9g|%.9g|%.9g|%.9g", spec.msb_spread_alpha,
+                spec.rack_spread_alpha, spec.affinity_theta, spec.max_msb_fraction_hard);
+  out << buf << "|" << EscapeStateField(spec.host_profile) << "|";
+  for (size_t t = 0; t < spec.rru_per_type.size(); ++t) {
+    std::snprintf(buf, sizeof(buf), "%s%.9g", t == 0 ? "" : ",", spec.rru_per_type[t]);
+    out << buf;
+  }
+  out << "|";
+  bool first = true;
+  for (const auto& [dc, share] : spec.dc_affinity) {
+    std::snprintf(buf, sizeof(buf), "%s%u=%.9g", first ? "" : ",", dc, share);
+    out << buf;
+    first = false;
+  }
+  return out.str();
+}
+
+Status ParseReservationRecord(const std::string& line, ReservationSpec* spec) {
+  std::vector<std::string> f = Split(line, '|');
+  if (f.empty() || f[0] != "reservation") {
+    return Status::InvalidArgument("not a reservation record");
+  }
+  if (f.size() != 12) {
+    return Status::InvalidArgument("reservation record needs 12 fields");
+  }
+  ReservationSpec out;
+  ReservationId id;
+  if (!TextToId(f[1], &id) || id == kUnassigned) {
+    return Status::InvalidArgument("bad reservation id: " + f[1]);
+  }
+  out.id = id;
+  out.name = UnescapeStateField(f[2]);
+  if (!TextToDouble(f[3], &out.capacity_rru) || !ValidRru(out.capacity_rru)) {
+    return Status::InvalidArgument("capacity out of range: " + f[3]);
+  }
+  unsigned flags = static_cast<unsigned>(std::strtoul(f[4].c_str(), nullptr, 10));
+  out.needs_correlated_buffer = flags & kFlagBuffered;
+  out.is_shared_random_buffer = flags & kFlagSharedBuffer;
+  out.is_elastic = flags & kFlagElastic;
+  out.is_storage = flags & kFlagStorage;
+  out.externally_managed = flags & kFlagExternal;
+  if (!TextToDouble(f[5], &out.msb_spread_alpha) || !TextToDouble(f[6], &out.rack_spread_alpha) ||
+      !TextToDouble(f[7], &out.affinity_theta) ||
+      !TextToDouble(f[8], &out.max_msb_fraction_hard)) {
+    return Status::InvalidArgument("bad spread/affinity parameters");
+  }
+  out.host_profile = UnescapeStateField(f[9]);
+  for (const std::string& v : Split(f[10], ',')) {
+    if (v.empty()) {
+      continue;
+    }
+    double value;
+    if (!TextToDouble(v, &value) || !ValidRru(value)) {
+      return Status::InvalidArgument("RRU value out of range: " + v);
+    }
+    out.rru_per_type.push_back(value);
+  }
+  if (!f[11].empty()) {
+    for (const std::string& pair : Split(f[11], ',')) {
+      std::vector<std::string> kv = Split(pair, '=');
+      double share;
+      if (kv.size() != 2 || !TextToDouble(kv[1], &share)) {
+        return Status::InvalidArgument("bad affinity pair: " + pair);
+      }
+      out.dc_affinity[static_cast<DatacenterId>(std::strtoul(kv[0].c_str(), nullptr, 10))] = share;
+    }
+  }
+  *spec = std::move(out);
+  return Status::Ok();
+}
+
+std::string SerializeServerRecord(const ServerRecord& r) {
+  std::ostringstream out;
+  out << "server|" << r.server << "|" << IdToText(r.current) << "|" << IdToText(r.target) << "|"
+      << IdToText(r.home) << "|" << (r.elastic_loan ? 1 : 0) << "|"
+      << static_cast<int>(r.unavailability) << "|" << (r.has_containers ? 1 : 0);
+  return out.str();
+}
+
+Status ParseServerRecord(const std::string& line, size_t num_servers, ServerStateRecord* out) {
+  std::vector<std::string> f = Split(line, '|');
+  if (f.empty() || f[0] != "server") {
+    return Status::InvalidArgument("not a server record");
+  }
+  if (f.size() != 8) {
+    return Status::InvalidArgument("server record needs 8 fields");
+  }
+  ServerStateRecord s;
+  char* end = nullptr;
+  unsigned long sid = std::strtoul(f[1].c_str(), &end, 10);
+  if (f[1].empty() || end == nullptr || *end != '\0' || sid >= num_servers) {
+    return Status::InvalidArgument("server id out of range: " + f[1]);
+  }
+  s.id = static_cast<ServerId>(sid);
+  if (!TextToId(f[2], &s.current) || !TextToId(f[3], &s.target) || !TextToId(f[4], &s.home)) {
+    return Status::InvalidArgument("bad binding ids");
+  }
+  s.elastic_loan = f[5] == "1";
+  int unavail = std::atoi(f[6].c_str());
+  if (unavail < 0 || unavail > static_cast<int>(Unavailability::kUnplannedHardware)) {
+    return Status::InvalidArgument("bad unavailability code: " + f[6]);
+  }
+  s.unavailability = static_cast<Unavailability>(unavail);
+  s.has_containers = f[7] == "1";
+  *out = s;
+  return Status::Ok();
+}
+
+void ApplyServerRecord(const ServerStateRecord& s, ResourceBroker& broker) {
+  broker.SetCurrent(s.id, s.current);
+  broker.SetTarget(s.id, s.target);
+  broker.SetElasticLoan(s.id, s.home, s.elastic_loan);
+  broker.SetUnavailability(s.id, s.unavailability);
+  broker.SetHasContainers(s.id, s.has_containers);
+}
+
 std::string SerializeRegionState(const ResourceBroker& broker,
                                  const ReservationRegistry& registry) {
   std::ostringstream out;
   out << kHeader << "\n";
   out << "# servers=" << broker.num_servers() << "\n";
-
-  char buf[64];
   for (const ReservationSpec* spec : registry.All()) {
-    unsigned flags = (spec->needs_correlated_buffer ? kFlagBuffered : 0) |
-                     (spec->is_shared_random_buffer ? kFlagSharedBuffer : 0) |
-                     (spec->is_elastic ? kFlagElastic : 0) |
-                     (spec->is_storage ? kFlagStorage : 0) |
-                     (spec->externally_managed ? kFlagExternal : 0);
-    out << "reservation|" << spec->id << "|" << Escape(spec->name) << "|";
-    std::snprintf(buf, sizeof(buf), "%.9g", spec->capacity_rru);
-    out << buf << "|" << flags << "|";
-    std::snprintf(buf, sizeof(buf), "%.9g|%.9g|%.9g|%.9g", spec->msb_spread_alpha,
-                  spec->rack_spread_alpha, spec->affinity_theta, spec->max_msb_fraction_hard);
-    out << buf << "|" << Escape(spec->host_profile) << "|";
-    for (size_t t = 0; t < spec->rru_per_type.size(); ++t) {
-      std::snprintf(buf, sizeof(buf), "%s%.9g", t == 0 ? "" : ",", spec->rru_per_type[t]);
-      out << buf;
-    }
-    out << "|";
-    bool first = true;
-    for (const auto& [dc, share] : spec->dc_affinity) {
-      std::snprintf(buf, sizeof(buf), "%s%u=%.9g", first ? "" : ",", dc, share);
-      out << buf;
-      first = false;
-    }
-    out << "\n";
+    out << SerializeReservationRecord(*spec) << "\n";
   }
-
   for (ServerId id = 0; id < broker.num_servers(); ++id) {
     const ServerRecord& r = broker.record(id);
     // Skip all-default records to keep snapshots proportional to usage.
@@ -134,9 +253,7 @@ std::string SerializeRegionState(const ResourceBroker& broker,
         r.unavailability == Unavailability::kNone && !r.has_containers) {
       continue;
     }
-    out << "server|" << id << "|" << IdToText(r.current) << "|" << IdToText(r.target) << "|"
-        << IdToText(r.home) << "|" << (r.elastic_loan ? 1 : 0) << "|"
-        << static_cast<int>(r.unavailability) << "|" << (r.has_containers ? 1 : 0) << "\n";
+    out << SerializeServerRecord(r) << "\n";
   }
   return out.str();
 }
@@ -152,89 +269,44 @@ Status DeserializeRegionState(const std::string& text, ResourceBroker& broker,
     return Status::InvalidArgument("missing ras-state header");
   }
 
-  // Two-pass: validate everything before mutating the broker.
-  struct ServerLine {
-    ServerId id;
-    ReservationId current, target, home;
-    bool loan, has_containers;
-    Unavailability unavailability;
-  };
+  // Two-pass: validate everything — syntax, ranges, duplicates — before
+  // mutating either the registry or the broker, so failure has no partial
+  // effects.
   std::vector<ReservationSpec> specs;
-  std::vector<ServerLine> servers;
+  std::vector<ServerStateRecord> servers;
+  std::set<ReservationId> seen_reservations;
+  std::set<ServerId> seen_servers;
   int line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') {
       continue;
     }
-    std::vector<std::string> f = Split(line, '|');
     auto bad = [&line_no](const std::string& why) {
       return Status::InvalidArgument("line " + std::to_string(line_no) + ": " + why);
     };
-    if (f[0] == "reservation") {
-      if (f.size() != 12) {
-        return bad("reservation record needs 12 fields");
-      }
+    if (line.rfind("reservation|", 0) == 0) {
       ReservationSpec spec;
-      ReservationId id;
-      if (!TextToId(f[1], &id) || id == kUnassigned) {
-        return bad("bad reservation id");
+      Status parsed = ParseReservationRecord(line, &spec);
+      if (!parsed.ok()) {
+        return bad(parsed.message());
       }
-      spec.id = id;
-      spec.name = Unescape(f[2]);
-      spec.capacity_rru = std::atof(f[3].c_str());
-      unsigned flags = static_cast<unsigned>(std::strtoul(f[4].c_str(), nullptr, 10));
-      spec.needs_correlated_buffer = flags & kFlagBuffered;
-      spec.is_shared_random_buffer = flags & kFlagSharedBuffer;
-      spec.is_elastic = flags & kFlagElastic;
-      spec.is_storage = flags & kFlagStorage;
-      spec.externally_managed = flags & kFlagExternal;
-      spec.msb_spread_alpha = std::atof(f[5].c_str());
-      spec.rack_spread_alpha = std::atof(f[6].c_str());
-      spec.affinity_theta = std::atof(f[7].c_str());
-      spec.max_msb_fraction_hard = std::atof(f[8].c_str());
-      spec.host_profile = Unescape(f[9]);
-      for (const std::string& v : Split(f[10], ',')) {
-        if (!v.empty()) {
-          spec.rru_per_type.push_back(std::atof(v.c_str()));
-        }
-      }
-      if (!f[11].empty()) {
-        for (const std::string& pair : Split(f[11], ',')) {
-          std::vector<std::string> kv = Split(pair, '=');
-          if (kv.size() != 2) {
-            return bad("bad affinity pair: " + pair);
-          }
-          spec.dc_affinity[static_cast<DatacenterId>(std::strtoul(kv[0].c_str(), nullptr, 10))] =
-              std::atof(kv[1].c_str());
-        }
+      if (!seen_reservations.insert(spec.id).second) {
+        return bad("duplicate reservation id " + std::to_string(spec.id));
       }
       specs.push_back(std::move(spec));
-    } else if (f[0] == "server") {
-      if (f.size() != 8) {
-        return bad("server record needs 8 fields");
+    } else if (line.rfind("server|", 0) == 0) {
+      ServerStateRecord s;
+      Status parsed = ParseServerRecord(line, broker.num_servers(), &s);
+      if (!parsed.ok()) {
+        return bad(parsed.message());
       }
-      ServerLine s;
-      char* end = nullptr;
-      unsigned long sid = std::strtoul(f[1].c_str(), &end, 10);
-      if (sid >= broker.num_servers()) {
-        return bad("server id out of range: " + f[1]);
+      if (!seen_servers.insert(s.id).second) {
+        return bad("duplicate server id " + std::to_string(s.id));
       }
-      s.id = static_cast<ServerId>(sid);
-      if (!TextToId(f[2], &s.current) || !TextToId(f[3], &s.target) ||
-          !TextToId(f[4], &s.home)) {
-        return bad("bad binding ids");
-      }
-      s.loan = f[5] == "1";
-      int unavail = std::atoi(f[6].c_str());
-      if (unavail < 0 || unavail > static_cast<int>(Unavailability::kUnplannedHardware)) {
-        return bad("bad unavailability code: " + f[6]);
-      }
-      s.unavailability = static_cast<Unavailability>(unavail);
-      s.has_containers = f[7] == "1";
       servers.push_back(s);
     } else {
-      return bad("unknown record type: " + f[0]);
+      return bad("unknown record type: " + Split(line, '|')[0]);
     }
   }
 
@@ -244,12 +316,8 @@ Status DeserializeRegionState(const std::string& text, ResourceBroker& broker,
       return restored.status();
     }
   }
-  for (const ServerLine& s : servers) {
-    broker.SetCurrent(s.id, s.current);
-    broker.SetTarget(s.id, s.target);
-    broker.SetElasticLoan(s.id, s.home, s.loan);
-    broker.SetUnavailability(s.id, s.unavailability);
-    broker.SetHasContainers(s.id, s.has_containers);
+  for (const ServerStateRecord& s : servers) {
+    ApplyServerRecord(s, broker);
   }
   return Status::Ok();
 }

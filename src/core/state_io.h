@@ -13,6 +13,14 @@
 //   server|<id>|<current>|<target>|<home>|<loan>|<unavail>|<has_containers>
 // Hardware/topology are NOT serialized: they are regenerable from the fleet
 // seed and are validated by server-count on load.
+//
+// The per-record encoders/parsers are exposed because the write-ahead
+// journal (src/journal) reuses them as its payload codec: a journal
+// reservation record is exactly one "reservation|..." line, a server delta
+// exactly one "server|..." line. Parsing is strict — malformed numbers,
+// out-of-range RRU/capacity values, and duplicate ids are rejected with a
+// precise error, and DeserializeRegionState has no partial effects on
+// failure.
 
 #ifndef RAS_SRC_CORE_STATE_IO_H_
 #define RAS_SRC_CORE_STATE_IO_H_
@@ -29,10 +37,49 @@ std::string SerializeRegionState(const ResourceBroker& broker,
                                  const ReservationRegistry& registry);
 
 // Restores into an empty registry and a freshly-constructed broker over the
-// same topology. Fails without partial effects on malformed input or a
-// server-count mismatch.
+// same topology. Fails without partial effects on malformed input, duplicate
+// reservation/server ids, out-of-range values, or a server-count mismatch;
+// errors name the offending line.
 Status DeserializeRegionState(const std::string& text, ResourceBroker& broker,
                               ReservationRegistry& registry);
+
+// --- Per-record codec (shared with src/journal) ---
+
+// '|' / newline / '%' escaping used for free-form text fields.
+std::string EscapeStateField(const std::string& s);
+std::string UnescapeStateField(const std::string& s);
+
+// One "reservation|..." line (no trailing newline) and its strict parser.
+// The parser validates capacity and RRU values: they must be finite,
+// non-negative, and below kMaxStateRru.
+std::string SerializeReservationRecord(const ReservationSpec& spec);
+Status ParseReservationRecord(const std::string& line, ReservationSpec* spec);
+
+// Upper bound accepted for any capacity / per-type RRU value on load. A
+// region holds well under a million servers of bounded per-server value;
+// anything past this is corruption, not demand.
+inline constexpr double kMaxStateRru = 1e12;
+
+// The durable fields of one server record, decoupled from the broker's
+// in-memory ServerRecord (which also carries a version counter).
+struct ServerStateRecord {
+  ServerId id = kInvalidServer;
+  ReservationId current = kUnassigned;
+  ReservationId target = kUnassigned;
+  ReservationId home = kUnassigned;
+  bool elastic_loan = false;
+  Unavailability unavailability = Unavailability::kNone;
+  bool has_containers = false;
+};
+
+// One "server|..." line (no trailing newline) and its strict parser.
+// `num_servers` bounds the id; pass the broker's server count.
+std::string SerializeServerRecord(const ServerRecord& record);
+Status ParseServerRecord(const std::string& line, size_t num_servers, ServerStateRecord* out);
+
+// Writes every durable field of `s` into the broker record (used by restore
+// and by journal replay).
+void ApplyServerRecord(const ServerStateRecord& s, ResourceBroker& broker);
 
 }  // namespace ras
 

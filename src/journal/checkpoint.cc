@@ -1,0 +1,144 @@
+#include "src/journal/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "src/core/state_io.h"
+#include "src/journal/crc32.h"
+#include "src/util/file_io.h"
+
+namespace ras {
+namespace journal {
+namespace {
+
+constexpr char kHeaderPrefix[] = "ras-checkpoint v1|";
+constexpr char kFilePrefix[] = "checkpoint-";
+constexpr char kFileSuffix[] = ".ras";
+
+std::string CheckpointPath(const std::string& dir, uint64_t generation) {
+  char name[64];
+  // Zero-padded so lexicographic file order matches generation order.
+  std::snprintf(name, sizeof(name), "%s%020llu%s", kFilePrefix,
+                static_cast<unsigned long long>(generation), kFileSuffix);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+uint32_t StateDigest(const ResourceBroker& broker, const ReservationRegistry& registry) {
+  return Crc32(SerializeRegionState(broker, registry));
+}
+
+Status WriteCheckpoint(const std::string& dir, uint64_t generation,
+                       const ResourceBroker& broker, const ReservationRegistry& registry) {
+  std::string body = SerializeRegionState(broker, registry);
+  // The CRC chains over "<generation>|<bytes>" and then the body, so a flip
+  // in any header field is as detectable as one in the body.
+  char meta[64];
+  std::snprintf(meta, sizeof(meta), "%llu|%zu", static_cast<unsigned long long>(generation),
+                body.size());
+  char header[128];
+  std::snprintf(header, sizeof(header), "%s%s|%08x\n", kHeaderPrefix, meta,
+                Crc32(body, Crc32(meta)));
+  return AtomicWriteFile(CheckpointPath(dir, generation), header + body);
+}
+
+std::vector<CheckpointInfo> ListCheckpoints(const std::string& dir) {
+  std::vector<CheckpointInfo> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return out;
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind(kFilePrefix, 0) != 0 || name.size() <= std::strlen(kFileSuffix) ||
+        name.compare(name.size() - std::strlen(kFileSuffix), std::strlen(kFileSuffix),
+                     kFileSuffix) != 0) {
+      continue;
+    }
+    std::string digits =
+        name.substr(std::strlen(kFilePrefix),
+                    name.size() - std::strlen(kFilePrefix) - std::strlen(kFileSuffix));
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long generation = std::strtoull(digits.c_str(), &end, 10);
+    if (digits.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+      continue;
+    }
+    out.push_back({dir + "/" + name, generation});
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.generation > b.generation;
+            });
+  return out;
+}
+
+Result<std::string> LoadCheckpointBody(const std::string& path, uint64_t* generation) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) {
+    return content.status();
+  }
+  const std::string& text = *content;
+  if (text.rfind(kHeaderPrefix, 0) != 0) {
+    return Status::InvalidArgument("bad checkpoint header: " + path);
+  }
+  size_t newline = text.find('\n');
+  if (newline == std::string::npos) {
+    return Status::InvalidArgument("checkpoint header unterminated: " + path);
+  }
+  std::string header = text.substr(std::strlen(kHeaderPrefix), newline - std::strlen(kHeaderPrefix));
+  // Strict field split: "<generation>|<bytes>|<crc, exactly 8 hex>".
+  size_t p1 = header.find('|');
+  size_t p2 = p1 == std::string::npos ? p1 : header.find('|', p1 + 1);
+  if (p2 == std::string::npos || header.find('|', p2 + 1) != std::string::npos) {
+    return Status::InvalidArgument("unparsable checkpoint header: " + path);
+  }
+  std::string meta = header.substr(0, p2);
+  std::string crc_text = header.substr(p2 + 1);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long gen = std::strtoull(header.c_str(), &end, 10);
+  if (end == nullptr || static_cast<size_t>(end - header.c_str()) != p1 || errno == ERANGE) {
+    return Status::InvalidArgument("bad checkpoint generation: " + path);
+  }
+  std::string bytes_text = header.substr(p1 + 1, p2 - p1 - 1);
+  errno = 0;
+  unsigned long long body_bytes = std::strtoull(bytes_text.c_str(), &end, 10);
+  if (bytes_text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("bad checkpoint body length: " + path);
+  }
+  std::string body = text.substr(newline + 1);
+  if (body.size() != body_bytes) {
+    return Status::InvalidArgument("checkpoint body truncated: " + path + " (" +
+                                   std::to_string(body.size()) + " of " +
+                                   std::to_string(body_bytes) + " bytes)");
+  }
+  char expected[16];
+  std::snprintf(expected, sizeof(expected), "%08x", Crc32(body, Crc32(meta)));
+  if (crc_text != expected) {
+    return Status::InvalidArgument("checkpoint CRC mismatch: " + path);
+  }
+  *generation = gen;
+  return body;
+}
+
+Status PruneCheckpoints(const std::string& dir, size_t keep) {
+  std::vector<CheckpointInfo> all = ListCheckpoints(dir);
+  Status first_error = Status::Ok();
+  for (size_t i = keep; i < all.size(); ++i) {
+    if (::unlink(all[i].path.c_str()) != 0 && first_error.ok()) {
+      first_error = Status::Internal("unlink " + all[i].path + ": " + std::strerror(errno));
+    }
+  }
+  return first_error;
+}
+
+}  // namespace journal
+}  // namespace ras

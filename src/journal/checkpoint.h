@@ -1,0 +1,61 @@
+// Checkpoint files: whole-state snapshots that bound journal replay.
+//
+// A checkpoint is the state_io serialization of the region (registry +
+// broker bindings) wrapped in a self-validating header:
+//
+//   ras-checkpoint v1|<generation>|<body crc32 hex>|<body bytes>
+//   <ras-state v1 text...>
+//
+// `generation` is the journal generation as of the snapshot: recovery loads
+// the newest valid checkpoint and replays only journal records with a
+// greater generation. Files are named checkpoint-<generation>.ras and
+// written with AtomicWriteFile (temp + fsync + rename), so a crash during
+// compaction leaves either the old set of checkpoints or the old set plus
+// one complete new file — never a half-written snapshot. Compaction keeps
+// the newest few files so recovery can fall back when the latest is damaged.
+
+#ifndef RAS_SRC_JOURNAL_CHECKPOINT_H_
+#define RAS_SRC_JOURNAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/broker/resource_broker.h"
+#include "src/core/reservation.h"
+#include "src/util/status.h"
+
+namespace ras {
+namespace journal {
+
+// CRC32 of the canonical serialized region state. Both the live control
+// plane (when it journals a digest record) and recovery (when it verifies
+// one) compute digests through this single function, so equality means the
+// replayed state serializes byte-identically to what the live process saw.
+uint32_t StateDigest(const ResourceBroker& broker, const ReservationRegistry& registry);
+
+struct CheckpointInfo {
+  std::string path;
+  uint64_t generation = 0;
+};
+
+// Atomically writes checkpoint-<generation>.ras under `dir`.
+Status WriteCheckpoint(const std::string& dir, uint64_t generation,
+                       const ResourceBroker& broker, const ReservationRegistry& registry);
+
+// All checkpoint files under `dir`, newest (highest generation) first. Files
+// whose names do not parse are ignored.
+std::vector<CheckpointInfo> ListCheckpoints(const std::string& dir);
+
+// Loads and validates one checkpoint file: header shape, body length, body
+// CRC. Returns the state_io body text.
+Result<std::string> LoadCheckpointBody(const std::string& path, uint64_t* generation);
+
+// Deletes all but the newest `keep` checkpoints under `dir`. Best-effort:
+// returns the first error but keeps deleting.
+Status PruneCheckpoints(const std::string& dir, size_t keep);
+
+}  // namespace journal
+}  // namespace ras
+
+#endif  // RAS_SRC_JOURNAL_CHECKPOINT_H_

@@ -1,5 +1,6 @@
 #include "src/sim/scenario.h"
 
+#include "src/util/logging.h"
 #include "src/util/stats.h"
 
 namespace ras {
@@ -12,14 +13,60 @@ RegionScenario::RegionScenario(const ScenarioOptions& options)
   greedy = std::make_unique<GreedyAssigner>(&fleet.catalog, broker.get());
   health = std::make_unique<HealthCheckService>(broker.get());
   solver.mutable_config() = options.solver;
-  shared_buffer_ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog,
-                                          options.shared_buffer_fraction);
   supervisor = std::make_unique<SolverSupervisor>(&solver, broker.get(), &registry,
                                                   &fleet.catalog, &loop, options.supervisor);
   if (!options.faults.empty()) {
     fault_injector = std::make_unique<FaultInjector>(options.faults);
     supervisor->SetFaultInjector(fault_injector.get());
   }
+  if (options.durable_dir.empty()) {
+    shared_buffer_ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog,
+                                            options.shared_buffer_fraction);
+    return;
+  }
+  durable = std::make_unique<journal::DurableControlPlane>(options.durable_dir, options.durable);
+  (void)durable->Attach(broker.get(), &registry);
+  const bool recovering = journal::DurableControlPlane::HasState(options.durable_dir);
+  if (!recovering) {
+    // Bootstrap: seed the buffers first so they land in checkpoint 0.
+    shared_buffer_ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog,
+                                            options.shared_buffer_fraction);
+  }
+  recovery = durable->OpenOrRecover();
+  if (!recovery.status.ok()) {
+    RAS_LOG(kWarning) << "durable control plane recovery failed ("
+                      << recovery.status.ToString()
+                      << "); scenario state is suspect and durability is disconnected";
+    return;
+  }
+  if (recovering) {
+    // The buffers came back from the checkpoint; this re-derives their ids
+    // (EnsureSharedBuffers is idempotent, so the state is untouched).
+    shared_buffer_ids = EnsureSharedBuffers(registry, fleet.topology, fleet.catalog,
+                                            options.shared_buffer_fraction);
+  }
+  supervisor->SetTargetPersistence(durable.get());
+}
+
+Result<ReservationId> RegionScenario::AdmitReservation(ReservationSpec spec) {
+  if (durable != nullptr && !durable->dead()) {
+    return durable->AdmitReservation(std::move(spec));
+  }
+  return registry.Create(std::move(spec));
+}
+
+Status RegionScenario::UpdateReservation(const ReservationSpec& spec) {
+  if (durable != nullptr && !durable->dead()) {
+    return durable->UpdateReservation(spec);
+  }
+  return registry.Update(spec);
+}
+
+Status RegionScenario::RemoveReservation(ReservationId id) {
+  if (durable != nullptr && !durable->dead()) {
+    return durable->RemoveReservation(id);
+  }
+  return registry.Remove(id);
 }
 
 void RegionScenario::ArmHealth(SimDuration horizon) {
@@ -43,6 +90,14 @@ Result<SolveStats> RegionScenario::SolveRound() {
   // must not be starved waiting for the next successful solve.
   mover->ReconcileAll();
   twine->RetryPending();
+  if (durable != nullptr && !durable->dead()) {
+    // End-of-round barrier: digest the post-reconcile state and compact when
+    // due. A failure here means the journal is gone; the round itself stands.
+    Status barrier = durable->RoundBarrier();
+    if (!barrier.ok()) {
+      RAS_LOG(kWarning) << "durable round barrier failed: " << barrier.ToString();
+    }
+  }
   if (ProducedAssignment(round.rung)) {
     return round.stats;
   }

@@ -15,6 +15,7 @@
 #include "src/faults/fault_plan.h"
 #include "src/fleet/fleet_gen.h"
 #include "src/health/health.h"
+#include "src/journal/durable_control_plane.h"
 #include "src/sim/event_loop.h"
 #include "src/twine/allocator.h"
 #include "src/twine/greedy_assigner.h"
@@ -30,6 +31,13 @@ struct ScenarioOptions {
   // FaultPlan::seed.
   FaultPlan faults;
   double shared_buffer_fraction = 0.02;
+  // When non-empty, control-plane state is made durable under this directory
+  // (write-ahead journal + checkpoints, src/journal). A scenario constructed
+  // over a directory that already holds state recovers from it instead of
+  // bootstrapping — the crash-restart drills rebuild the scenario on the same
+  // directory to model a control-plane restart.
+  std::string durable_dir;
+  journal::DurableOptions durable;
   uint64_t seed = 42;
 };
 
@@ -53,6 +61,21 @@ class RegionScenario {
   // null when options.faults is empty; the supervisor always exists.
   std::unique_ptr<FaultInjector> fault_injector;
   std::unique_ptr<SolverSupervisor> supervisor;
+  // Durability layer; null unless options.durable_dir was set. Declared after
+  // the broker so its destructor can still unsubscribe its watcher.
+  std::unique_ptr<journal::DurableControlPlane> durable;
+  // Outcome of the constructor's recover-or-bootstrap step. When its status
+  // is non-OK the in-memory state is suspect and the durable layer is left
+  // disconnected; drills inspect this and rebuild on a clean directory.
+  journal::RecoveryReport recovery;
+
+  // Journaled reservation admission: routes through the durable control plane
+  // when one is wired (journal-then-acknowledge), else straight to the
+  // registry. Use these instead of registry.Create/Update/Remove in scenarios
+  // that care about crash recovery.
+  Result<ReservationId> AdmitReservation(ReservationSpec spec);
+  Status UpdateReservation(const ReservationSpec& spec);
+  Status RemoveReservation(ReservationId id);
 
   // Generates and loads the health schedule for [0, horizon), and wires the
   // failure callback to the Online Mover's fast replacement path.

@@ -1,0 +1,36 @@
+// Crash-safe file IO helpers.
+//
+// Every on-disk artifact the control plane cares about (checkpoints, bench
+// regression JSON, recovery logs) is written with the same discipline: write
+// to a temp file in the destination directory, fsync it, rename over the
+// final path, then fsync the directory. A reader therefore observes either
+// the previous complete file or the new complete file — never a torn mix —
+// regardless of where a crash lands.
+
+#ifndef RAS_SRC_UTIL_FILE_IO_H_
+#define RAS_SRC_UTIL_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace ras {
+
+// Atomically replaces `path` with `content` (temp file + fsync + rename +
+// directory fsync). The temp file lives next to `path` so the rename never
+// crosses filesystems; it is unlinked on any failure.
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+// Reads a whole file. NOT_FOUND when it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// Creates `path` (one level) if missing; OK when it already exists as a
+// directory.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_UTIL_FILE_IO_H_

@@ -118,6 +118,65 @@ TEST(StateIoTest, RejectsMalformedInput) {
   }
 }
 
+TEST(StateIoTest, RejectsDuplicateIdsWithLineNumbers) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  ReservationSpec spec;
+  spec.name = "svc";
+  spec.capacity_rru = 5;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  ASSERT_TRUE(registry.Create(spec).ok());
+  broker.SetTarget(4, 1);
+  std::string good = SerializeRegionState(broker, registry);
+
+  // Duplicate reservation line.
+  {
+    std::string line = SerializeReservationRecord(*registry.Find(1));
+    ResourceBroker b2(&fleet.topology);
+    ReservationRegistry r2;
+    Status status = DeserializeRegionState(good + line + "\n", b2, r2);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("duplicate reservation id 1"), std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.message().find("line "), std::string::npos) << status.ToString();
+    EXPECT_EQ(r2.size(), 0u) << "failed load mutated the registry";
+  }
+  // Duplicate server line.
+  {
+    std::string line = SerializeServerRecord(broker.record(4));
+    ResourceBroker b2(&fleet.topology);
+    ReservationRegistry r2;
+    Status status = DeserializeRegionState(good + line + "\n", b2, r2);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("duplicate server id 4"), std::string::npos)
+        << status.ToString();
+    EXPECT_EQ(b2.record(4).target, kUnassigned) << "failed load mutated the broker";
+  }
+}
+
+TEST(StateIoTest, RejectsOutOfRangeRruValues) {
+  Fleet fleet = GenerateFleet(Options());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  const std::string header = "ras-state v1\n";
+  // Capacity beyond the corruption bound, negative capacity, non-finite
+  // capacity, and a bad per-type RRU — all named by line.
+  const char* kBad[] = {
+      "reservation|1|svc|1e13|1|0|0|0.05|0|p|1|",
+      "reservation|1|svc|-5|1|0|0|0.05|0|p|1|",
+      "reservation|1|svc|inf|1|0|0|0.05|0|p|1|",
+      "reservation|1|svc|10|1|0|0|0.05|0|p|1e13|",
+  };
+  for (const char* line : kBad) {
+    ReservationRegistry r2;
+    Status status = DeserializeRegionState(header + line + "\n", broker, r2);
+    ASSERT_FALSE(status.ok()) << line;
+    EXPECT_NE(status.message().find("line 2"), std::string::npos) << status.ToString();
+    EXPECT_EQ(r2.size(), 0u);
+  }
+}
+
 TEST(StateIoTest, RequiresEmptyRegistry) {
   Fleet fleet = GenerateFleet(Options());
   ResourceBroker broker(&fleet.topology);

@@ -1,0 +1,224 @@
+// Corruption fuzzing for the durability formats: state_io snapshots, the
+// write-ahead journal, and checkpoint files. The invariant under test is
+// *no partial effects*: whatever a flipped byte or truncation does, a load
+// either succeeds or leaves the target state exactly as it was — and a
+// journal scan never surfaces a record from beyond the damage.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/state_io.h"
+#include "src/fleet/fleet_gen.h"
+#include "src/journal/checkpoint.h"
+#include "src/journal/wal.h"
+#include "src/util/file_io.h"
+#include "src/util/rng.h"
+
+namespace ras {
+namespace {
+
+FleetOptions SmallFleet() {
+  FleetOptions opts;
+  opts.num_datacenters = 1;
+  opts.msbs_per_datacenter = 2;
+  opts.racks_per_msb = 2;
+  opts.servers_per_rack = 6;
+  return opts;  // 24 servers.
+}
+
+// A representative region state with reservations, bindings, loans, and
+// unavailability — every record shape the serializer produces.
+std::string ReferenceState(const Fleet& fleet) {
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  ReservationSpec spec;
+  spec.name = "svc|with|pipes";
+  spec.capacity_rru = 12;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  ReservationId a = *registry.Create(spec);
+  spec.name = "second";
+  spec.capacity_rru = 6;
+  ReservationId b = *registry.Create(spec);
+  for (ServerId s = 0; s < 8; ++s) {
+    broker.SetTarget(s, a);
+    broker.SetCurrent(s, a);
+  }
+  broker.SetTarget(9, b);
+  broker.SetElasticLoan(10, a, true);
+  broker.SetUnavailability(11, Unavailability::kUnplannedSoftware);
+  broker.SetHasContainers(3, true);
+  return SerializeRegionState(broker, registry);
+}
+
+// True when `broker` + `registry` are bit-identical to freshly-constructed
+// empties (the no-partial-effects postcondition after a failed load).
+void ExpectUntouched(const ResourceBroker& broker, const ReservationRegistry& registry) {
+  EXPECT_EQ(registry.size(), 0u);
+  for (ServerId s = 0; s < broker.num_servers(); ++s) {
+    const ServerRecord& r = broker.record(s);
+    EXPECT_EQ(r.current, kUnassigned) << "server " << s;
+    EXPECT_EQ(r.target, kUnassigned) << "server " << s;
+    EXPECT_FALSE(r.elastic_loan) << "server " << s;
+    EXPECT_EQ(r.unavailability, Unavailability::kNone) << "server " << s;
+    EXPECT_FALSE(r.has_containers) << "server " << s;
+  }
+}
+
+TEST(CorruptionFuzzTest, StateLoadHasNoPartialEffectsUnderByteFlips) {
+  Fleet fleet = GenerateFleet(SmallFleet());
+  std::string good = ReferenceState(fleet);
+  Rng rng(0xC0FFEE);
+  int accepted = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = good;
+    size_t pos = rng.Next() % mutated.size();
+    mutated[pos] ^= static_cast<char>(1 + (rng.Next() % 255));
+    ResourceBroker broker(&fleet.topology);
+    ReservationRegistry registry;
+    Status loaded = DeserializeRegionState(mutated, broker, registry);
+    if (loaded.ok()) {
+      // A flip can land in a name or a digit and still parse — but then the
+      // state must round-trip to exactly the mutated text's content.
+      ++accepted;
+      continue;
+    }
+    ExpectUntouched(broker, registry);
+  }
+  // Most flips must be caught (structure, numbers, ranges); a few landing in
+  // free-text name bytes may legitimately survive.
+  EXPECT_LT(accepted, 400 / 2);
+}
+
+TEST(CorruptionFuzzTest, StateLoadHasNoPartialEffectsUnderTruncation) {
+  Fleet fleet = GenerateFleet(SmallFleet());
+  std::string good = ReferenceState(fleet);
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t keep = rng.Next() % good.size();
+    std::string mutated = good.substr(0, keep);
+    ResourceBroker broker(&fleet.topology);
+    ReservationRegistry registry;
+    Status loaded = DeserializeRegionState(mutated, broker, registry);
+    if (!loaded.ok()) {
+      ExpectUntouched(broker, registry);
+    }
+  }
+}
+
+TEST(CorruptionFuzzTest, DuplicateRecordsRejectedWithoutPartialEffects) {
+  Fleet fleet = GenerateFleet(SmallFleet());
+  std::string good = ReferenceState(fleet);
+  // Duplicate every line in turn; reservation/server duplicates must be
+  // rejected and must leave nothing behind.
+  size_t start = 0;
+  while (start < good.size()) {
+    size_t end = good.find('\n', start);
+    std::string line = good.substr(start, end - start);
+    if (line.rfind("reservation|", 0) == 0 || line.rfind("server|", 0) == 0) {
+      std::string mutated = good + line + "\n";
+      ResourceBroker broker(&fleet.topology);
+      ReservationRegistry registry;
+      Status loaded = DeserializeRegionState(mutated, broker, registry);
+      EXPECT_FALSE(loaded.ok()) << line;
+      EXPECT_NE(loaded.message().find("duplicate"), std::string::npos) << loaded.ToString();
+      ExpectUntouched(broker, registry);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(CorruptionFuzzTest, JournalScanNeverSurfacesRecordsPastDamage) {
+  std::string path = ::testing::TempDir() + "/fuzz-journal.wal";
+  std::remove(path.c_str());
+  journal::WriteAheadJournal wal(path);
+  ASSERT_TRUE(wal.OpenAppend(1).ok());
+  const int kRecords = 20;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(
+        wal.Append(journal::RecordKind::kDigest, std::string(8, static_cast<char>('a' + i % 16)))
+            .ok());
+  }
+  wal.Close();
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  const std::string good = *content;
+
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = good;
+    size_t pos = rng.Next() % mutated.size();
+    bool truncate = trial % 3 == 0;
+    if (truncate) {
+      mutated = mutated.substr(0, pos);
+    } else {
+      mutated[pos] ^= static_cast<char>(1 + (rng.Next() % 255));
+    }
+    ASSERT_TRUE(AtomicWriteFile(path, mutated).ok());
+    Result<journal::JournalScan> scan = journal::WriteAheadJournal::Scan(path);
+    ASSERT_TRUE(scan.ok());
+    // Every surfaced record must be one of the originals, in order, with no
+    // gaps: generations 1..k for some k.
+    for (size_t i = 0; i < scan->records.size(); ++i) {
+      EXPECT_EQ(scan->records[i].generation, i + 1);
+    }
+    EXPECT_LE(scan->valid_bytes, mutated.size());
+    if (scan->torn()) {
+      EXPECT_EQ(scan->valid_bytes + scan->torn_bytes, mutated.size());
+      EXPECT_LT(scan->records.size(), static_cast<size_t>(kRecords));
+    }
+  }
+}
+
+TEST(CorruptionFuzzTest, CheckpointLoadRejectsAnyByteFlip) {
+  Fleet fleet = GenerateFleet(SmallFleet());
+  ResourceBroker broker(&fleet.topology);
+  ReservationRegistry registry;
+  ReservationSpec spec;
+  spec.name = "svc";
+  spec.capacity_rru = 8;
+  spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+  ReservationId id = *registry.Create(spec);
+  for (ServerId s = 0; s < 6; ++s) {
+    broker.SetTarget(s, id);
+  }
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(journal::WriteCheckpoint(dir, 42, broker, registry).ok());
+  std::vector<journal::CheckpointInfo> found = journal::ListCheckpoints(dir);
+  ASSERT_FALSE(found.empty());
+  std::string path;
+  for (const journal::CheckpointInfo& c : found) {
+    if (c.generation == 42) {
+      path = c.path;
+    }
+  }
+  ASSERT_FALSE(path.empty());
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  const std::string good = *content;
+
+  uint64_t generation = 0;
+  ASSERT_TRUE(journal::LoadCheckpointBody(path, &generation).ok());
+  EXPECT_EQ(generation, 42u);
+
+  Rng rng(0xABCD);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = good;
+    size_t pos = rng.Next() % mutated.size();
+    mutated[pos] ^= static_cast<char>(1 + (rng.Next() % 255));
+    ASSERT_TRUE(AtomicWriteFile(path, mutated).ok());
+    Result<std::string> body = journal::LoadCheckpointBody(path, &generation);
+    // The header CRC + length cover every body byte, and the header's own
+    // fields fail parsing or CRC comparison when damaged. Nothing survives.
+    EXPECT_FALSE(body.ok()) << "flip at byte " << pos << " went undetected";
+  }
+  ASSERT_TRUE(AtomicWriteFile(path, good).ok());
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace ras

@@ -1,0 +1,305 @@
+#include "src/journal/durable_control_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet_gen.h"
+#include "src/util/file_io.h"
+
+namespace ras {
+namespace journal {
+namespace {
+
+FleetOptions SmallFleet() {
+  FleetOptions opts;
+  opts.num_datacenters = 1;
+  opts.msbs_per_datacenter = 2;
+  opts.racks_per_msb = 2;
+  opts.servers_per_rack = 6;
+  return opts;  // 24 servers.
+}
+
+// Deletes every regular file under `dir` so each test starts from an empty
+// durable directory even when the temp dir survives across runs.
+void WipeDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return;
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/dcp-" + name;
+  WipeDir(dir);
+  return dir;
+}
+
+// One "control-plane process": a fresh in-memory region attached to the
+// durable directory. Constructing a second Proc on the same dir after the
+// first died models a restart.
+struct Proc {
+  Fleet fleet;
+  std::unique_ptr<ResourceBroker> broker;
+  ReservationRegistry registry;
+  std::unique_ptr<DurableControlPlane> durable;
+  RecoveryReport report;
+
+  explicit Proc(const std::string& dir, DurableOptions options = DurableOptions())
+      : fleet(GenerateFleet(SmallFleet())) {
+    broker = std::make_unique<ResourceBroker>(&fleet.topology);
+    durable = std::make_unique<DurableControlPlane>(dir, options);
+    EXPECT_TRUE(durable->Attach(broker.get(), &registry).ok());
+    report = durable->OpenOrRecover();
+  }
+
+  uint32_t Digest() const { return StateDigest(*broker, registry); }
+
+  ReservationId Admit(const std::string& name, double capacity) {
+    ReservationSpec spec;
+    spec.name = name;
+    spec.capacity_rru = capacity;
+    spec.rru_per_type.assign(fleet.catalog.size(), 1.0);
+    Result<ReservationId> id = durable->AdmitReservation(std::move(spec));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return id.ok() ? *id : kUnassigned;
+  }
+};
+
+std::vector<std::pair<ServerId, ReservationId>> Batch1(ReservationId id) {
+  return {{0, id}, {1, id}, {2, id}, {3, id}, {4, id}, {5, id}};
+}
+
+std::vector<std::pair<ServerId, ReservationId>> Batch2(ReservationId id) {
+  return {{0, kUnassigned}, {6, id}, {7, id}, {8, id}, {9, id}, {10, id}};
+}
+
+TEST(DurableControlPlaneTest, BootstrapPersistRestartRecovers) {
+  std::string dir = FreshDir("bootstrap");
+  uint32_t live_digest = 0;
+  uint64_t live_generation = 0;
+  size_t granted = 0;
+  {
+    Proc p(dir);
+    ASSERT_TRUE(p.report.status.ok()) << p.report.status.ToString();
+    EXPECT_FALSE(p.report.recovered_state);
+    ReservationId id = p.Admit("svc", 10);
+    ASSERT_TRUE(p.durable->PersistTargets(*p.broker, Batch1(id)).ok());
+    // Out-of-band broker mutations flow through the watcher.
+    p.broker->SetCurrent(0, id);
+    p.broker->SetUnavailability(5, Unavailability::kUnplannedHardware);
+    ASSERT_TRUE(p.durable->RoundBarrier().ok());
+    live_digest = p.Digest();
+    live_generation = p.durable->generation();
+    granted = p.broker->CountInReservation(id);
+    EXPECT_GT(granted, 0u);
+  }
+  Proc q(dir);
+  ASSERT_TRUE(q.report.status.ok()) << q.report.status.ToString();
+  EXPECT_TRUE(q.report.recovered_state);
+  EXPECT_TRUE(q.report.digest_verified);
+  EXPECT_GT(q.report.digests_checked, 0u);
+  EXPECT_EQ(q.Digest(), live_digest);
+  EXPECT_GE(q.durable->generation(), live_generation);
+  const ReservationSpec* spec = q.registry.Find(1);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->name, "svc");
+  EXPECT_EQ(q.broker->CountInReservation(1), granted) << "granted capacity lost in recovery";
+  EXPECT_EQ(q.broker->record(5).unavailability, Unavailability::kUnplannedHardware);
+  // The drill log artifact exists.
+  EXPECT_TRUE(FileExists(dir + "/recovery.log"));
+}
+
+TEST(DurableControlPlaneTest, CrashSiteMatrixRecoversToExpectedState) {
+  // Crash-free twin: the reference digests each crash site must recover to.
+  uint32_t after_b1 = 0;
+  uint32_t after_b2 = 0;
+  {
+    Proc ref(FreshDir("matrix-ref"));
+    ReservationId id = ref.Admit("svc", 10);
+    ASSERT_TRUE(ref.durable->PersistTargets(*ref.broker, Batch1(id)).ok());
+    after_b1 = ref.Digest();
+    ASSERT_TRUE(ref.durable->PersistTargets(*ref.broker, Batch2(id)).ok());
+    after_b2 = ref.Digest();
+  }
+  ASSERT_NE(after_b1, after_b2);
+
+  struct Site {
+    CrashPoint point;
+    bool batch2_survives;  // Recovery includes the crashed batch's effects.
+  };
+  const Site kSites[] = {
+      {CrashPoint::kBeforeJournalAppend, false},
+      {CrashPoint::kTornJournalAppend, false},
+      {CrashPoint::kAfterJournalAppend, true},  // Intent durable: redone.
+      {CrashPoint::kMidApply, true},
+      {CrashPoint::kAfterApply, true},
+      {CrashPoint::kAfterDigest, true},
+  };
+  for (const Site& site : kSites) {
+    SCOPED_TRACE(CrashPointName(site.point));
+    std::string dir = FreshDir(std::string("matrix-") + CrashPointName(site.point));
+    uint64_t crash_generation = 0;
+    {
+      Proc p(dir);
+      ReservationId id = p.Admit("svc", 10);
+      ASSERT_TRUE(p.durable->PersistTargets(*p.broker, Batch1(id)).ok());
+      CrashPointInjector injector;
+      p.durable->SetCrashInjector(&injector);
+      injector.Arm(site.point);
+      crash_generation = p.durable->generation();
+      Status crashed = p.durable->PersistTargets(*p.broker, Batch2(id));
+      EXPECT_EQ(crashed.code(), StatusCode::kUnavailable);
+      EXPECT_TRUE(p.durable->dead());
+      EXPECT_TRUE(injector.crashed());
+      EXPECT_EQ(injector.crashed_at(), site.point);
+      // A dead process performs no further durable work.
+      EXPECT_EQ(p.durable->RoundBarrier().code(), StatusCode::kUnavailable);
+      EXPECT_EQ(p.durable->AdmitReservation(ReservationSpec()).status().code(),
+                StatusCode::kUnavailable);
+    }
+    Proc q(dir);
+    ASSERT_TRUE(q.report.status.ok()) << q.report.status.ToString();
+    EXPECT_TRUE(q.report.digest_verified);
+    EXPECT_EQ(q.Digest(), site.batch2_survives ? after_b2 : after_b1);
+    EXPECT_GE(q.durable->generation(), crash_generation)
+        << "generation must never move backwards across a restart";
+  }
+}
+
+TEST(DurableControlPlaneTest, CompactionCrashSitesAllRecoverLosslessly) {
+  uint32_t after_b2 = 0;
+  {
+    Proc ref(FreshDir("compact-ref"));
+    ReservationId id = ref.Admit("svc", 10);
+    ASSERT_TRUE(ref.durable->PersistTargets(*ref.broker, Batch1(id)).ok());
+    ASSERT_TRUE(ref.durable->PersistTargets(*ref.broker, Batch2(id)).ok());
+    after_b2 = ref.Digest();
+  }
+  const CrashPoint kSites[] = {
+      CrashPoint::kBeforeCheckpointWrite,
+      CrashPoint::kAfterCheckpointWrite,
+      CrashPoint::kAfterJournalTruncate,
+  };
+  for (CrashPoint point : kSites) {
+    SCOPED_TRACE(CrashPointName(point));
+    std::string dir = FreshDir(std::string("compact-") + CrashPointName(point));
+    {
+      Proc p(dir);
+      ReservationId id = p.Admit("svc", 10);
+      ASSERT_TRUE(p.durable->PersistTargets(*p.broker, Batch1(id)).ok());
+      ASSERT_TRUE(p.durable->PersistTargets(*p.broker, Batch2(id)).ok());
+      CrashPointInjector injector;
+      p.durable->SetCrashInjector(&injector);
+      injector.Arm(point);
+      EXPECT_EQ(p.durable->Compact().code(), StatusCode::kUnavailable);
+    }
+    Proc q(dir);
+    ASSERT_TRUE(q.report.status.ok()) << q.report.status.ToString();
+    EXPECT_EQ(q.Digest(), after_b2) << "compaction must never lose state";
+  }
+}
+
+TEST(DurableControlPlaneTest, AdmitCrashLosesOnlyTheUnacknowledgedReservation) {
+  std::string dir = FreshDir("admit-crash");
+  {
+    Proc p(dir);
+    ASSERT_NE(p.Admit("acknowledged", 5), kUnassigned);
+    CrashPointInjector injector;
+    p.durable->SetCrashInjector(&injector);
+    injector.Arm(CrashPoint::kAfterAdmitApply);
+    ReservationSpec spec;
+    spec.name = "never-acknowledged";
+    spec.capacity_rru = 5;
+    spec.rru_per_type.assign(p.fleet.catalog.size(), 1.0);
+    Result<ReservationId> id = p.durable->AdmitReservation(std::move(spec));
+    EXPECT_EQ(id.status().code(), StatusCode::kUnavailable);
+  }
+  Proc q(dir);
+  ASSERT_TRUE(q.report.status.ok());
+  ASSERT_EQ(q.registry.size(), 1u);
+  EXPECT_EQ(q.registry.All()[0]->name, "acknowledged");
+}
+
+TEST(DurableControlPlaneTest, AbortedBatchIsNotReplayed) {
+  std::string dir = FreshDir("abort");
+  uint32_t live_digest = 0;
+  {
+    Proc p(dir);
+    ReservationId id = p.Admit("svc", 10);
+    // Quorum loss: every write bounces, the broker rolls the batch back, and
+    // the journal records the abort after its already-durable intent.
+    p.broker->SetWriteFaultHook([](ServerId, ReservationId) { return true; });
+    EXPECT_FALSE(p.durable->PersistTargets(*p.broker, Batch1(id)).ok());
+    p.broker->SetWriteFaultHook(nullptr);
+    ASSERT_TRUE(p.durable->PersistTargets(*p.broker, Batch2(id)).ok());
+    live_digest = p.Digest();
+  }
+  Proc q(dir);
+  ASSERT_TRUE(q.report.status.ok()) << q.report.status.ToString();
+  EXPECT_EQ(q.report.aborted_batches_skipped, 1u);
+  EXPECT_EQ(q.Digest(), live_digest);
+  EXPECT_EQ(q.broker->record(0).target, kUnassigned) << "aborted batch leaked into recovery";
+}
+
+TEST(DurableControlPlaneTest, FallsBackToOlderCheckpointWhenNewestIsCorrupt) {
+  std::string dir = FreshDir("fallback");
+  uint32_t at_first_checkpoint = 0;
+  {
+    Proc p(dir);
+    ReservationId id = p.Admit("svc", 10);
+    ASSERT_TRUE(p.durable->PersistTargets(*p.broker, Batch1(id)).ok());
+    ASSERT_TRUE(p.durable->Compact().ok());
+    at_first_checkpoint = p.Digest();
+    ASSERT_TRUE(p.durable->PersistTargets(*p.broker, Batch2(id)).ok());
+    ASSERT_TRUE(p.durable->Compact().ok());
+  }
+  std::vector<CheckpointInfo> checkpoints = ListCheckpoints(dir);
+  ASSERT_GE(checkpoints.size(), 2u);
+  // Flip one body byte of the newest checkpoint.
+  Result<std::string> content = ReadFileToString(checkpoints[0].path);
+  ASSERT_TRUE(content.ok());
+  std::string corrupted = *content;
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  ASSERT_TRUE(AtomicWriteFile(checkpoints[0].path, corrupted).ok());
+
+  Proc q(dir);
+  ASSERT_TRUE(q.report.status.ok()) << q.report.status.ToString();
+  EXPECT_EQ(q.report.checkpoints_tried, 2);
+  // The journal was truncated at the newer compaction, so the fallback is
+  // consistent but stale: exactly the older checkpoint's state.
+  EXPECT_EQ(q.Digest(), at_first_checkpoint);
+}
+
+TEST(DurableControlPlaneTest, ThresholdCompactionTruncatesTheJournal) {
+  std::string dir = FreshDir("threshold");
+  DurableOptions options;
+  options.compact_every_records = 4;
+  Proc p(dir, options);
+  ReservationId id = p.Admit("svc", 10);
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_TRUE(
+        p.durable->PersistTargets(*p.broker, round % 2 == 0 ? Batch1(id) : Batch2(id)).ok());
+  }
+  EXPECT_LT(p.durable->records_since_compact(), 4u);
+  EXPECT_FALSE(ListCheckpoints(dir).empty());
+  Result<JournalScan> scan = WriteAheadJournal::Scan(dir + "/journal.wal");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_LT(scan->records.size(), 12u) << "journal never truncated";
+}
+
+}  // namespace
+}  // namespace journal
+}  // namespace ras

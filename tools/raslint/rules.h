@@ -55,7 +55,7 @@ struct LintConfig {
   std::set<std::string> enabled_rules;
   // Directory prefixes where iteration order is solver-visible.
   std::vector<std::string> solver_path_dirs = {"src/solver/", "src/core/", "src/shard/",
-                                               "src/broker/", "src/twine/"};
+                                               "src/broker/", "src/twine/", "src/journal/"};
   // Path substrings allowed to read the wall clock / spawn raw threads.
   std::vector<std::string> wall_clock_allowlist = {"src/util/monotonic_time."};
   std::vector<std::string> thread_allowlist = {"src/util/thread_pool."};
@@ -73,8 +73,9 @@ struct LintConfig {
       {"src/core",
        {"src/broker", "src/faults", "src/fleet", "src/shard", "src/sim", "src/solver",
         "src/topology", "src/twine"}},
+      {"src/journal", {"src/broker", "src/core", "src/faults", "src/topology"}},
       {"src/sim",
-       {"src/core", "src/faults", "src/fleet", "src/health", "src/twine"}},
+       {"src/core", "src/faults", "src/fleet", "src/health", "src/journal", "src/twine"}},
   };
 };
 
