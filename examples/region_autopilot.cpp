@@ -47,9 +47,15 @@ int main() {
   sim.loop.ScheduleEvery(SimTime{0}, Hours(6), [&](SimTime) {
     auto stats = sim.SolveRound();
     if (stats.ok()) {
-      std::printf("  [solve] vars=%zu moves=%zu (in-use %zu) shortfall=%.1f\n",
+      // reuse: "cold" on the first round or after invalidation; otherwise the
+      // incremental path reports what it salvaged from the previous round.
+      const char* reuse = stats->solve_skipped  ? "skipped"
+                          : stats->basis_reused ? "patched+basis"
+                          : stats->model_patched ? "patched"
+                                                 : "cold";
+      std::printf("  [solve] vars=%zu moves=%zu (in-use %zu) shortfall=%.1f reuse=%s delta=%d\n",
                   stats->phase1.assignment_variables, stats->moves_total, stats->moves_in_use,
-                  stats->total_shortfall_rru);
+                  stats->total_shortfall_rru, reuse, stats->delta_servers);
     }
   });
 

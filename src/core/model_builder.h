@@ -90,6 +90,29 @@ struct SolverConfig {
   // Move budget for the post-merge StitchRepair pass.
   size_t shard_repair_max_moves = 2000;
 
+  // --- Cross-round incremental re-solve (src/core/resolve_cache.h) ---
+  // Reuses the previous round's model (patched in place), root simplex basis,
+  // and incumbent when consecutive snapshots are structurally equal. With the
+  // two sub-knobs at their defaults the reuse paths only short-circuit work a
+  // cold solve would provably repeat, so disabling this changes timings, not
+  // targets.
+  bool incremental_resolve = true;
+  // A round whose server delta (state changes + adds + removes) is at most
+  // this many servers may skip the MIP entirely when the shifted cached
+  // incumbent revalidates within the phase's absolute gap. 0 (default)
+  // restricts the skip to unchanged rounds, where the cached incumbent is
+  // exactly what the deterministic cold solve would recompute. Values > 0
+  // trade exactness for speed: results stay feasible and within the gap of
+  // the cached bound, but need not be bit-identical to a cold solve.
+  int skip_solve_max_delta_servers = 0;
+  // Strict parity (default): the cached basis is only used for a separate
+  // root-bound probe whose fired outcome equals the cold serial root prune;
+  // when the probe does not fire, the MIP runs exactly as if cold. false
+  // additionally seeds that fallback MIP's root LP from the cached basis —
+  // faster, but alternate LP optima can steer branching differently, so
+  // targets may (validly) differ from a cold solve.
+  bool resolve_strict_parity = true;
+
   // Branch-and-bound workers for both MIP phases (MipOptions::threads).
   // 1 = the deterministic serial solver; the SolverSupervisor also drops back
   // to 1 on degraded ladder rungs so retries after a failure are
@@ -149,6 +172,7 @@ struct BuiltModel {
     int reservation_index;
     uint32_t group;
     double threshold;
+    RowId row = -1;  // sum_G V*n - w <= threshold; patched when C_r resizes.
   };
   std::vector<SpreadTerm> msb_spread_terms;
   std::vector<SpreadTerm> rack_spread_terms;
@@ -159,6 +183,8 @@ struct BuiltModel {
     DatacenterId dc;
     double lo;  // (A - theta) * C_r
     double hi;  // (A + theta) * C_r
+    RowId lo_row = -1;
+    RowId hi_row = -1;
   };
   std::vector<AffinityTerm> affinity_terms;
   // Storage quorum caps: per (reservation, MSB) slack above the hard limit.
@@ -167,8 +193,17 @@ struct BuiltModel {
     int reservation_index;
     uint32_t group;  // MSB.
     double limit;    // max_msb_fraction_hard * C_r.
+    RowId row = -1;
   };
   std::vector<QuorumTerm> quorum_terms;
+
+  // Row bookkeeping for in-place patching (PatchRasModel): every row whose
+  // bounds depend on class counts or reservation sizes. Rows not present in
+  // this build (no move-out, reservation outside the subset) hold kNoRow.
+  std::vector<RowId> supply_rows;    // Per class: sum_r n <= |class|.
+  std::vector<RowId> move_rows;      // Aligned with assignment_vars: n + o >= X.
+  std::vector<RowId> capacity_rows;  // Per reservation index: Expression (6).
+  std::vector<RowId> hoard_rows;     // Per reservation index.
 
   size_t num_assignment_variables() const { return assignment_vars.size(); }
   // Model-build memory (variables, rows, nonzeros, decode bookkeeping):
@@ -182,6 +217,7 @@ struct BuiltModel {
 };
 
 inline constexpr VarId kNoVar = -1;
+inline constexpr RowId kNoRow = -1;
 
 // Builds the model over `classes`.
 //  - granularity: the location scope the classes were built at.
@@ -200,6 +236,22 @@ BuiltModel BuildRasModel(const SolveInput& input, const std::vector<EquivalenceC
 std::vector<double> MakeWarmStart(const SolveInput& input,
                                   const std::vector<EquivalenceClass>& classes,
                                   const BuiltModel& built, const std::vector<double>& counts);
+
+// In-place re-targets `built` (previously produced by BuildRasModel with the
+// same config / include_rack_spread / reservation_subset) at a new round's
+// (input, classes), without touching the constraint matrix: class-count
+// supply and move bounds, initial counts, capacity / hoard / spread / quorum
+// / affinity row bounds and thresholds — all through the Model's
+// cache-preserving Update mutators, so the compressed-column cache built for
+// the previous round stays valid. Requires structural equality between the
+// old and new rounds (same class keys per index, same reservation layout —
+// what RoundDelta::classes_structurally_equal certifies); the walk re-derives
+// the builder's variable/row sequence and returns false, leaving `built`
+// unusable for this round, on any mismatch. On success the patched model is
+// field-for-field identical to a fresh BuildRasModel of the new round.
+bool PatchRasModel(BuiltModel& built, const SolveInput& input,
+                   const std::vector<EquivalenceClass>& classes, const SolverConfig& config,
+                   bool include_rack_spread, const std::vector<int>& reservation_subset = {});
 
 }  // namespace ras
 

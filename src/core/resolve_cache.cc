@@ -1,0 +1,42 @@
+#include "src/core/resolve_cache.h"
+
+#include <algorithm>
+
+namespace ras {
+
+bool ShiftIncumbentCounts(const ResolveEntry& entry,
+                          const std::vector<EquivalenceClass>& classes,
+                          std::vector<double>* counts) {
+  const BuiltModel& built = entry.built;
+  if (entry.counts.size() != built.assignment_vars.size() ||
+      built.class_to_vars.size() != classes.size()) {
+    return false;
+  }
+  *counts = entry.counts;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    const double cls_count = static_cast<double>(classes[c].servers.size());
+    double total = 0.0;
+    for (int k : built.class_to_vars[c]) {
+      double& v = (*counts)[static_cast<size_t>(k)];
+      v = std::clamp(v, 0.0, cls_count);
+      total += v;
+    }
+    if (total <= cls_count) {
+      continue;
+    }
+    // The class shrank below what the old incumbent assigned here. Shed the
+    // surplus from the class's later reservations first (reverse builder
+    // order) — a fixed rule, so the shifted point is the same on every host.
+    double surplus = total - cls_count;
+    for (auto it = built.class_to_vars[c].rbegin();
+         it != built.class_to_vars[c].rend() && surplus > 0.0; ++it) {
+      double& v = (*counts)[static_cast<size_t>(*it)];
+      const double shed = std::min(v, surplus);
+      v -= shed;
+      surplus -= shed;
+    }
+  }
+  return true;
+}
+
+}  // namespace ras

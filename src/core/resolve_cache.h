@@ -1,0 +1,85 @@
+// Cross-round resolve cache: the warm state the Async Solver carries from one
+// round to the next.
+//
+// Each entry — keyed by (phase, shard) — remembers the previous round's
+// snapshot, equivalence classes, built model, final simplex basis, incumbent
+// assignment counts, and proven bound. The next round computes a RoundDelta
+// against the cached snapshot and, when the model structure survives
+// (RoundDelta::patchable), re-targets the cached model in place
+// (PatchRasModel), restarts the root LP from the cached basis, and — when the
+// delta is empty-or-trivial and the shifted incumbent revalidates within the
+// configured gap — skips the MIP entirely.
+//
+// Lifetime rules (see DESIGN.md "Incremental re-solve"): the cache lives
+// inside an AsyncSolver and survives exactly as long as consecutive healthy
+// kFullTwoPhase rounds. Degraded supervisor rungs, faults, broker write
+// rollbacks, and durable-control-plane recovery all invalidate it, so every
+// recovery path cold-starts.
+
+#ifndef RAS_SRC_CORE_RESOLVE_CACHE_H_
+#define RAS_SRC_CORE_RESOLVE_CACHE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/core/model_builder.h"
+#include "src/core/round_delta.h"
+#include "src/core/solve_input.h"
+#include "src/solver/simplex.h"
+
+namespace ras {
+
+struct ResolveEntry {
+  bool valid = false;
+  // The round this entry was produced by.
+  SolveInput input;
+  std::vector<EquivalenceClass> classes;
+  // The built (and since patched-forward) model for that round's structure.
+  BuiltModel built;
+  bool include_rack_spread = false;
+  std::vector<int> subset;
+  // Final incumbent as assignment counts (aligned with
+  // built.assignment_vars), its objective, the best proven bound, and how the
+  // producing solve terminated (kOptimal vs node-limited kFeasible — a
+  // skipped round must report the cached round's true status, not invent an
+  // optimality proof).
+  std::vector<double> counts;
+  double objective = 0.0;
+  double best_bound = 0.0;
+  MipStatus mip_status = MipStatus::kError;
+  // Basis at the round's root LP optimum.
+  SimplexBasis root_basis;
+};
+
+class ResolveCache {
+ public:
+  // Entry for a (phase, shard) slot, created invalid on first touch. Phase is
+  // 1 or 2; shard is the plan's shard index, or -1 for a monolithic solve.
+  ResolveEntry& entry(int phase, int shard) { return entries_[{phase, shard}]; }
+
+  // Drops every entry: the next round of every (phase, shard) is cold.
+  void Invalidate() { entries_.clear(); }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::pair<int, int>, ResolveEntry> entries_;
+};
+
+// Shifts the cached incumbent through a round delta: re-reads the cached
+// assignment counts (index-aligned — requires class structural equality),
+// clamps each to the new class size, and deterministically drains classes
+// that ended up over-full. The result feeds MakeWarmStart, which rebuilds
+// every auxiliary variable consistently, so the shifted point is feasible by
+// construction; callers still validate with Model::IsFeasible and fall back
+// to the greedy warm start when validation fails. Returns false when the
+// cached counts cannot align with the new structure.
+bool ShiftIncumbentCounts(const ResolveEntry& entry,
+                          const std::vector<EquivalenceClass>& classes,
+                          std::vector<double>* counts);
+
+}  // namespace ras
+
+#endif  // RAS_SRC_CORE_RESOLVE_CACHE_H_

@@ -102,6 +102,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
     return solved.status();
   }
   if (solved->total_seconds > config_.solve_deadline_seconds) {
+    // The solve finished but its targets will never be applied; the resolve
+    // cache now describes a round the world never saw. Start the retry cold.
+    solver_->InvalidateResolveCache();
     return Status::DeadlineExceeded("solve took " + std::to_string(solved->total_seconds) +
                                     "s, deadline " +
                                     std::to_string(config_.solve_deadline_seconds) + "s");
@@ -115,6 +118,7 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
   // no longer exist in that state. Retry with a fresh snapshot instead.
   if (broker_->generation() != snapshot_generation) {
     ++stats_.stale_snapshots;
+    solver_->InvalidateResolveCache();
     return Status::FailedPrecondition("broker generation moved during the solve (snapshot " +
                                       std::to_string(snapshot_generation) + ", now " +
                                       std::to_string(broker_->generation()) + ")");
@@ -125,6 +129,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
                          : broker_->ApplyTargets(decoded.targets);
   if (!persisted.ok()) {
     ++stats_.persist_failures;
+    // A failed (and rolled-back) broker write means the cached round was never
+    // applied: any delta the next round computed against it would be fiction.
+    solver_->InvalidateResolveCache();
     return persisted;
   }
   last_good_targets_ = std::move(decoded.targets);
@@ -240,6 +247,9 @@ SupervisedRound SolverSupervisor::RunRound() {
   record.error = out.error;
   record.shortfall_rru = out.stats.total_shortfall_rru;
   record.emergency_armed = emergency_armed_;
+  record.model_patched = out.stats.model_patched;
+  record.solve_skipped = out.stats.solve_skipped;
+  record.delta_servers = out.stats.delta_servers;
   ++stats_.rung_counts[static_cast<int>(out.rung)];
   stats_.rounds.push_back(std::move(record));
   return out;

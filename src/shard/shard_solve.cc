@@ -35,6 +35,21 @@ void AccumulatePhase(PhaseStats& into, const PhaseStats& from) {
   into.best_bound += from.best_bound;
   into.warm_start_objective += from.warm_start_objective;
   into.nodes += from.nodes;
+  // Reuse telemetry: the aggregate claims reuse only when every shard reused
+  // that way; deltas sum, with any cold shard (-1) making the total unknown.
+  if (into.ran) {
+    into.model_patched = into.model_patched && from.model_patched;
+    into.basis_reused = into.basis_reused && from.basis_reused;
+    into.solve_skipped = into.solve_skipped && from.solve_skipped;
+    into.delta_servers = (into.delta_servers < 0 || from.delta_servers < 0)
+                             ? -1
+                             : into.delta_servers + from.delta_servers;
+  } else {
+    into.model_patched = from.model_patched;
+    into.basis_reused = from.basis_reused;
+    into.solve_skipped = from.solve_skipped;
+    into.delta_servers = from.delta_servers;
+  }
   into.ran = true;
 }
 
@@ -106,7 +121,7 @@ ShardSolveOutcome SolveShards(const SolveInput& input, const ShardPlan& plan,
       return;  // No span member placed demand here; the slot stays empty-OK.
     }
     double t0 = util::MonotonicSeconds();
-    Result<SolveStats> solved = solve_shard(shard_input, &result.decoded);
+    Result<SolveStats> solved = solve_shard(shard, shard_input, &result.decoded);
     result.wall_seconds = util::MonotonicSeconds() - t0;
     if (solved.ok()) {
       result.stats = *solved;

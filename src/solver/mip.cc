@@ -196,6 +196,11 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
   // LPs have near-identical bounds, so they warm-start each other, and the
   // node chain's basis in lp_solver is never disturbed.
   SimplexSolver heuristic_solver(options_.lp);
+  // Cross-round seed: start the root LP from the cached basis when it still
+  // fits this model; otherwise the root solves cold as before.
+  const bool root_seeded =
+      !options_.root_basis.empty() && lp_solver.ImportBasis(model, options_.root_basis);
+  result.root_basis_used = root_seeded;
 
   // Depth-first with a deque: children of the most recent node are explored
   // first (good for finding incumbents fast), while `parent_bound` prunes
@@ -221,8 +226,11 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
 
     ++result.nodes;
     // Children differ from their parent by one bound; reuse the last basis.
-    LpResult lp = result.nodes == 1 ? lp_solver.Solve(model, node.overrides)
-                                    : lp_solver.ResolveWithBasis(model, node.overrides);
+    // A seeded root also goes through the warm path (the imported basis is
+    // exactly "the last basis").
+    LpResult lp = result.nodes == 1 && !root_seeded
+                      ? lp_solver.Solve(model, node.overrides)
+                      : lp_solver.ResolveWithBasis(model, node.overrides);
     result.lp_iterations += lp.iterations;
     if (lp.status == LpStatus::kInfeasible) {
       continue;
@@ -239,6 +247,7 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
     if (!root_solved) {
       best_open_bound = lp.objective;
       root_solved = true;
+      result.root_basis = lp_solver.ExportBasis();
     }
     if (have_incumbent && lp.objective > incumbent_obj - options_.absolute_gap) {
       continue;  // Bound prune.
@@ -365,6 +374,8 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
     double incumbent_obj GUARDED_BY(mu) = kInf;
     bool root_solved GUARDED_BY(mu) = false;
     double root_bound GUARDED_BY(mu) = -kInf;
+    SimplexBasis root_basis GUARDED_BY(mu);
+    bool root_basis_used GUARDED_BY(mu) = false;
   } sh;
 
   {
@@ -383,8 +394,16 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
     // serial path: heuristic LPs warm-start each other and never disturb the
     // node chain's basis).
     SimplexSolver heuristic_solver(options_.lp);
+    // Cross-round seed: each worker's chain starts from the cached root
+    // basis when it imports cleanly (ResolveWithBasis then warm-starts the
+    // worker's first node); failures just leave that worker cold.
+    const bool seeded =
+        !options_.root_basis.empty() && lp_solver.ImportBasis(model, options_.root_basis);
 
     sh.mu.Lock();
+    if (seeded) {
+      sh.root_basis_used = true;
+    }
     for (;;) {
       while (sh.open.empty() && !sh.stop && sh.busy > 0) {
         sh.cv.Wait(sh.mu);
@@ -454,6 +473,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
       if (node.depth == 0) {
         sh.root_bound = lp.objective;
         sh.root_solved = true;
+        sh.root_basis = lp_solver.ExportBasis();
       }
       if (have_candidate) {
         double obj = model.Objective(candidate);
@@ -522,6 +542,8 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
   result.lp_iterations = sh.lp_iterations;
   result.hit_time_limit = sh.hit_time_limit;
   result.solve_seconds = elapsed();
+  result.root_basis = std::move(sh.root_basis);
+  result.root_basis_used = sh.root_basis_used;
 
   if (sh.unbounded) {
     result.status = MipStatus::kUnbounded;

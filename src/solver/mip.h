@@ -55,6 +55,12 @@ struct MipOptions {
   // structure (src/core/lp_rounding). Must be thread-safe when threads > 1;
   // the LP-rounding heuristic is (it only reads its captured model state).
   MipHeuristic heuristic;
+  // Cross-round warm start (resolve cache): when non-empty, each node-chain
+  // solver tries to import this basis before its first LP, so the root solve
+  // restarts from the previous round's optimum instead of the all-slack
+  // basis. A basis that fails to import (shape mismatch, singular against
+  // the current model) is ignored and the solve proceeds cold.
+  SimplexBasis root_basis;
 };
 
 struct MipResult {
@@ -67,6 +73,13 @@ struct MipResult {
   int64_t lp_iterations = 0;
   double solve_seconds = 0.0;
   bool hit_time_limit = false;
+  // Basis at the root LP optimum (empty when the root never solved to
+  // optimality). The resolve cache persists it to seed the next round via
+  // MipOptions::root_basis.
+  SimplexBasis root_basis;
+  // Whether MipOptions::root_basis was successfully imported by at least one
+  // node-chain solver.
+  bool root_basis_used = false;
 
   double gap() const { return objective - best_bound; }
 };

@@ -17,6 +17,7 @@ VarId Model::AddVariable(double lb, double ub, double cost, bool is_integer, std
   if (is_integer) {
     ++num_integers_;
   }
+  csc_cache_valid_ = false;
   return static_cast<VarId>(variables_.size() - 1);
 }
 
@@ -28,6 +29,7 @@ RowId Model::AddRow(double lb, double ub, std::string name) {
   r.name = std::move(name);
   rows_.push_back(std::move(r));
   entries_.emplace_back();
+  csc_cache_valid_ = false;
   return static_cast<RowId>(rows_.size() - 1);
 }
 
@@ -39,6 +41,7 @@ void Model::AddCoefficient(RowId row, VarId var, double coeff) {
   }
   entries_[row].push_back(RowEntry{var, coeff});
   ++nonzeros_;
+  csc_cache_valid_ = false;
 }
 
 void Model::SetVariableBounds(VarId var, double lb, double ub) {
@@ -56,6 +59,21 @@ void Model::SetRowBounds(RowId row, double lb, double ub) {
 void Model::SetObjectiveCost(VarId var, double cost) { variables_[var].cost = cost; }
 
 CscMatrix Model::CompressedColumns() const {
+  if (csc_cache_valid_) {
+    return csc_cache_;
+  }
+  return BuildCompressedColumns();
+}
+
+void Model::EnsureCompressedCache() {
+  if (csc_cache_valid_) {
+    return;
+  }
+  csc_cache_ = BuildCompressedColumns();
+  csc_cache_valid_ = true;
+}
+
+CscMatrix Model::BuildCompressedColumns() const {
   CscMatrix csc;
   const size_t n = variables_.size();
   const size_t m = rows_.size();

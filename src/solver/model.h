@@ -72,6 +72,15 @@ class Model {
   void SetRowBounds(RowId row, double lb, double ub);
   void SetObjectiveCost(VarId var, double cost);
 
+  // In-place patch mutators for cross-round model reuse. They are the same
+  // operations as the Set* calls above but carry an API contract: they never
+  // touch the constraint matrix, so the cached column-major form (see
+  // EnsureCompressedCache) stays valid across any number of them. The model
+  // patcher (PatchRasModel) uses only these between rounds.
+  void UpdateVariableBounds(VarId var, double lb, double ub) { SetVariableBounds(var, lb, ub); }
+  void UpdateRowBounds(RowId row, double lb, double ub) { SetRowBounds(row, lb, ub); }
+  void UpdateObjectiveCost(VarId var, double cost) { SetObjectiveCost(var, cost); }
+
   size_t num_variables() const { return variables_.size(); }
   size_t num_rows() const { return rows_.size(); }
   size_t num_nonzeros() const { return nonzeros_; }
@@ -82,7 +91,17 @@ class Model {
 
   // Builds the column-major (CSC) form of the constraint matrix. Duplicate
   // (row, var) pairs are summed; rows are ascending within each column.
+  // Returns a copy of the cached form when one is valid (see
+  // EnsureCompressedCache); otherwise computes it fresh without caching, so
+  // concurrent callers on a shared const Model never race.
   CscMatrix CompressedColumns() const;
+
+  // Builds (or rebuilds) the cached CSC form. Structural edits (AddVariable /
+  // AddRow / AddCoefficient) drop the cache; the Update* mutators keep it
+  // valid. Not thread-safe — call after the model is fully built and before
+  // handing it to concurrent solvers.
+  void EnsureCompressedCache();
+  bool compressed_cache_valid() const { return csc_cache_valid_; }
 
   // Evaluates the objective at a point.
   double Objective(const std::vector<double>& x) const;
@@ -100,6 +119,11 @@ class Model {
   std::vector<std::vector<RowEntry>> entries_;
   size_t nonzeros_ = 0;
   size_t num_integers_ = 0;
+
+  CscMatrix BuildCompressedColumns() const;
+
+  CscMatrix csc_cache_;
+  bool csc_cache_valid_ = false;
 };
 
 }  // namespace ras

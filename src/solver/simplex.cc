@@ -317,6 +317,92 @@ LpResult SimplexSolver::ResolveWithBasis(const Model& model,
   return result;
 }
 
+SimplexBasis SimplexSolver::ExportBasis() const {
+  SimplexBasis out;
+  if (!basis_valid_) {
+    return out;
+  }
+  out.basic = basis_;
+  out.status.resize(status_.size());
+  for (size_t j = 0; j < status_.size(); ++j) {
+    out.status[j] = static_cast<uint8_t>(status_[j]);
+  }
+  out.rows = prepared_rows_;
+  out.vars = prepared_vars_;
+  out.nonzeros = prepared_nonzeros_;
+  return out;
+}
+
+bool SimplexSolver::ImportBasis(const Model& model, const SimplexBasis& basis) {
+  basis_valid_ = false;
+  if (basis.empty() || basis.rows != model.num_rows() || basis.vars != model.num_variables() ||
+      basis.nonzeros != model.num_nonzeros()) {
+    return false;
+  }
+  BuildColumns(model, {});
+  if (basis.basic.size() != static_cast<size_t>(m_) ||
+      basis.status.size() != static_cast<size_t>(total_)) {
+    return false;
+  }
+  status_.resize(total_);
+  for (int32_t j = 0; j < total_; ++j) {
+    if (basis.status[j] > static_cast<uint8_t>(ColStatus::kFree)) {
+      return false;
+    }
+    status_[j] = static_cast<ColStatus>(basis.status[j]);
+  }
+  basis_ = basis.basic;
+  basis_pos_.assign(total_, -1);
+  for (int32_t pos = 0; pos < m_; ++pos) {
+    int32_t col = basis_[pos];
+    if (col < 0 || col >= total_ || basis_pos_[col] != -1 || status_[col] != ColStatus::kBasic) {
+      return false;  // Out-of-range, duplicate, or status-inconsistent entry.
+    }
+    basis_pos_[col] = pos;
+  }
+  // Nonbasic columns sit on the bound their status claims; statuses pointing
+  // at an infinite bound (the model's bounds moved under the snapshot) are
+  // re-snapped the same way a cold start would place them.
+  value_.assign(total_, 0.0);
+  for (int32_t j = 0; j < total_; ++j) {
+    switch (status_[j]) {
+      case ColStatus::kBasic:
+        break;
+      case ColStatus::kAtLower:
+        if (std::isfinite(lb_[j])) {
+          value_[j] = lb_[j];
+        } else if (std::isfinite(ub_[j])) {
+          status_[j] = ColStatus::kAtUpper;
+          value_[j] = ub_[j];
+        } else {
+          status_[j] = ColStatus::kFree;
+        }
+        break;
+      case ColStatus::kAtUpper:
+        if (std::isfinite(ub_[j])) {
+          value_[j] = ub_[j];
+        } else if (std::isfinite(lb_[j])) {
+          status_[j] = ColStatus::kAtLower;
+          value_[j] = lb_[j];
+        } else {
+          status_[j] = ColStatus::kFree;
+        }
+        break;
+      case ColStatus::kFree:
+        break;
+    }
+  }
+  if (!Refactorize()) {
+    return false;  // Singular against this model: stay cold, caller re-solves.
+  }
+  ComputeBasicValues();
+  basis_valid_ = true;
+  prepared_rows_ = model.num_rows();
+  prepared_vars_ = model.num_variables();
+  prepared_nonzeros_ = model.num_nonzeros();
+  return true;
+}
+
 LpResult SimplexSolver::RunSimplex(const Model& model) {
   LpResult result;
   const double ftol = options_.feasibility_tol;

@@ -94,6 +94,22 @@ struct BoundOverride {
   double ub;
 };
 
+// A portable snapshot of a simplex basis: the basic column in each row
+// position plus every column's status, with the model shape it belongs to.
+// Exported from one solver after an optimal solve and imported into another
+// (possibly freshly constructed) solver over a structurally identical model —
+// the cross-round resolve cache persists one per (phase, shard) so the next
+// round's root LP restarts from the previous optimum instead of the all-slack
+// basis.
+struct SimplexBasis {
+  std::vector<int32_t> basic;   // Row position -> column (structural or slack).
+  std::vector<uint8_t> status;  // Per column; values from SimplexSolver's ColStatus.
+  size_t rows = 0;
+  size_t vars = 0;
+  size_t nonzeros = 0;
+  bool empty() const { return basic.empty(); }
+};
+
 class SimplexSolver {
  public:
   explicit SimplexSolver(const LpOptions& options = LpOptions()) : options_(options) {}
@@ -109,6 +125,20 @@ class SimplexSolver {
   // parent by one integer bound. Falls back to a cold solve when no
   // compatible basis is available.
   LpResult ResolveWithBasis(const Model& model, const std::vector<BoundOverride>& overrides);
+
+  // Snapshot of the retained warm-start basis; empty when no valid basis is
+  // held (no solve yet, or the last solve did not end optimal).
+  SimplexBasis ExportBasis() const;
+
+  // Installs `basis` as the retained warm-start basis for `model`, as if this
+  // solver had just solved it: builds the column structure, refactorizes the
+  // basis inverse from scratch, and validates it. Returns false — leaving the
+  // solver cold, so the next call simply solves from scratch — when the shape
+  // fingerprint mismatches, the snapshot is malformed, or the basis matrix is
+  // singular against the current model (a stale basis must be detected here,
+  // never allowed to produce garbage). On success the next ResolveWithBasis
+  // starts warm from this basis.
+  bool ImportBasis(const Model& model, const SimplexBasis& basis);
 
  private:
   enum class ColStatus : uint8_t { kBasic, kAtLower, kAtUpper, kFree };

@@ -358,6 +358,59 @@ TEST(SolverSupervisorTest, FullyDeterministicUnderFaults) {
   EXPECT_EQ(a.second, b.second);
 }
 
+TEST(SolverSupervisorTest, DegradedRungForcesNextRoundCold) {
+  // Cache lifetime across the ladder: healthy consecutive full rounds ride
+  // the resolve cache; a degraded rung drops it; the round after the solver
+  // recovers is cold and then warms back up.
+  SupervisedSetup s;
+  s.AddService("svc", 20);
+  ASSERT_EQ(s.supervisor->RunRound().rung, LadderRung::kFullTwoPhase);
+  EXPECT_FALSE(s.solver.resolve_cache().empty());
+
+  // The supervisor persists targets (current bindings never move here), so
+  // the second snapshot is identical and the round reuses the cached model.
+  SupervisedRound warm = s.supervisor->RunRound();
+  EXPECT_EQ(warm.rung, LadderRung::kFullTwoPhase);
+  EXPECT_GE(warm.stats.delta_servers, 0);
+  EXPECT_TRUE(warm.stats.phase1.model_patched);
+
+  s.solver.SetFaultHook([](SolveMode mode) {
+    return mode == SolveMode::kFullTwoPhase ? Status::DeadlineExceeded("two-phase too slow")
+                                            : Status::Ok();
+  });
+  SupervisedRound degraded = s.supervisor->RunRound();
+  EXPECT_EQ(degraded.rung, LadderRung::kPhase1Only);
+  EXPECT_EQ(degraded.stats.delta_servers, -1) << "a degraded rung must never reuse warm state";
+  EXPECT_TRUE(s.solver.resolve_cache().empty()) << "degraded solve left warm state behind";
+
+  s.solver.SetFaultHook(nullptr);
+  SupervisedRound after = s.supervisor->RunRound();
+  EXPECT_EQ(after.rung, LadderRung::kFullTwoPhase);
+  EXPECT_EQ(after.stats.delta_servers, -1) << "round after degradation was not cold";
+  SupervisedRound rewarmed = s.supervisor->RunRound();
+  EXPECT_GE(rewarmed.stats.delta_servers, 0);
+}
+
+TEST(SolverSupervisorTest, PersistRollbackInvalidatesResolveCache) {
+  // The supervisor's own persist path (not AsyncSolver::SolveOnce): a rolled
+  // back broker write must also cold-start the next round.
+  FaultPlan plan;
+  plan.AddBurst(FaultKind::kBrokerWriteFailure, 1, 1);
+  SupervisedSetup s(plan);
+  s.AddService("svc", 20);
+  ASSERT_EQ(s.supervisor->RunRound().rung, LadderRung::kFullTwoPhase);
+  EXPECT_FALSE(s.solver.resolve_cache().empty());
+
+  SupervisedRound rolled_back = s.supervisor->RunRound();
+  EXPECT_EQ(rolled_back.rung, LadderRung::kLastGood);
+  EXPECT_GT(s.supervisor->stats().persist_failures, 0u);
+  EXPECT_TRUE(s.solver.resolve_cache().empty()) << "rollback left warm state behind";
+
+  SupervisedRound after = s.supervisor->RunRound();
+  EXPECT_EQ(after.rung, LadderRung::kFullTwoPhase);
+  EXPECT_EQ(after.stats.delta_servers, -1) << "round after a rollback was not cold";
+}
+
 TEST(SolverSupervisorTest, DeadlineEnforcementRejectsOverlongSolves) {
   SupervisorConfig config = SupervisedSetup::FastConfig();
   config.solve_deadline_seconds = -1.0;  // Everything is too slow.

@@ -121,21 +121,40 @@ TEST(ShardPlannerTest, ShardCountClampedToRacks) {
 
 TEST(ShardPlannerTest, AutoShardCountHeuristic) {
   // Small regions stay monolithic; big ones get ~one shard per target chunk,
-  // capped.
-  EXPECT_EQ(AutoShardCount(288), 1);
-  EXPECT_EQ(AutoShardCount(4999), 1);
-  EXPECT_EQ(AutoShardCount(5000), 2);
-  EXPECT_EQ(AutoShardCount(10000), 4);
-  EXPECT_EQ(AutoShardCount(1000000), 16);
-  EXPECT_EQ(AutoShardCount(1000000, 2500, 32), 32);
+  // capped. Hardware threads pinned to 8 so the parallelism knee (below)
+  // never bites here regardless of the host running the test.
+  EXPECT_EQ(AutoShardCount(288, 2500, 16, 8), 1);
+  EXPECT_EQ(AutoShardCount(4999, 2500, 16, 8), 1);
+  EXPECT_EQ(AutoShardCount(5000, 2500, 16, 8), 2);
+  EXPECT_EQ(AutoShardCount(10000, 2500, 16, 8), 4);
+  EXPECT_EQ(AutoShardCount(1000000, 2500, 16, 8), 16);
+  EXPECT_EQ(AutoShardCount(1000000, 2500, 32, 8), 32);
+}
+
+TEST(ShardPlannerTest, AutoShardCountClampedByHardwareThreads) {
+  // The measured over-decomposition knee (bench_shard_scaling: K=8 regresses
+  // to 1.70x where K=4 reaches 2.41x on a 1-thread host): auto-K stops at 4
+  // shards per hardware thread, however large the fleet.
+  EXPECT_EQ(AutoShardCount(1000000, 2500, 16, 1), 4);
+  EXPECT_EQ(AutoShardCount(1000000, 2500, 16, 2), 8);
+  EXPECT_EQ(AutoShardCount(1000000, 2500, 16, 4), 16);  // Knee past the cap.
+  // Small regions are unaffected: the monolithic floor still wins.
+  EXPECT_EQ(AutoShardCount(4999, 2500, 16, 1), 1);
+  // Default (0) queries the host; the result respects both cap and knee.
+  int k = AutoShardCount(1000000);
+  EXPECT_GE(k, 1);
+  EXPECT_LE(k, 16);
 }
 
 TEST(ShardPlannerTest, EffectiveShardCountResolution) {
-  EXPECT_EQ(EffectiveShardCount(1, 100000, 1000), 1);   // Monolithic stays monolithic.
-  EXPECT_EQ(EffectiveShardCount(8, 100000, 1000), 8);   // Fixed K.
-  EXPECT_EQ(EffectiveShardCount(8, 100000, 4), 4);      // Clamped to racks.
-  EXPECT_EQ(EffectiveShardCount(0, 100000, 1000), 16);  // Auto-K.
-  EXPECT_EQ(EffectiveShardCount(0, 288, 36), 1);        // Auto-K, small region.
+  EXPECT_EQ(EffectiveShardCount(1, 100000, 1000), 1);  // Monolithic stays monolithic.
+  EXPECT_EQ(EffectiveShardCount(8, 100000, 1000), 8);  // Fixed K: never clamped by threads.
+  EXPECT_EQ(EffectiveShardCount(8, 100000, 4), 4);     // Clamped to racks.
+  // Auto-K: one shard per 2500 servers, capped at 16 and at the host knee.
+  int auto_k = EffectiveShardCount(0, 100000, 1000);
+  EXPECT_GE(auto_k, 4);  // Even a 1-thread host allows K=4.
+  EXPECT_LE(auto_k, 16);
+  EXPECT_EQ(EffectiveShardCount(0, 288, 36), 1);  // Auto-K, small region.
 }
 
 }  // namespace

@@ -111,6 +111,129 @@ TEST(WarmResolveTest, FallsBackToColdForDifferentModel) {
   }
 }
 
+TEST(WarmResolveTest, MatchesColdSolveAfterRowBoundChange) {
+  // Cross-round model patching changes RHS ranges in place
+  // (Model::UpdateRowBounds); the retained basis must survive, because the
+  // basis matrix depends only on the coefficients, and the warm resolve must
+  // land on the same optimum as a cold solve of the patched model.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> ref;
+    Model m = RandomLp(7300 + static_cast<uint64_t>(trial), 10, 7, &ref);
+    SimplexSolver warm_solver;
+    LpResult base = warm_solver.Solve(m);
+    ASSERT_EQ(base.status, LpStatus::kOptimal);
+
+    // Widen or shift each row's range around its reference activity; the
+    // reference point stays feasible, so the patched LP stays feasible.
+    Rng rng(7400 + static_cast<uint64_t>(trial));
+    for (size_t r = 0; r < m.num_rows(); ++r) {
+      if (!rng.Bernoulli(0.5)) {
+        continue;
+      }
+      double activity = 0.0;
+      for (const RowEntry& e : m.row_entries(r)) {
+        activity += e.coeff * ref[static_cast<size_t>(e.var)];
+      }
+      m.UpdateRowBounds(static_cast<RowId>(r), activity - rng.Uniform(0.3, 3),
+                        activity + rng.Uniform(0.3, 3));
+    }
+
+    LpResult warm = warm_solver.ResolveWithBasis(m, {});
+    SimplexSolver cold_solver;
+    LpResult cold = cold_solver.Solve(m);
+    ASSERT_EQ(warm.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_EQ(cold.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-5) << "trial " << trial;
+    EXPECT_TRUE(m.IsFeasible(warm.x, 1e-5));
+  }
+}
+
+TEST(WarmResolveTest, MatchesColdSolveAfterObjectiveChange) {
+  // Acquire costs flip between 0 and config.acquire_cost when a class's
+  // current holder changes round-over-round (Model::UpdateObjectiveCost);
+  // bases stay primal-feasible under any cost change, so the warm resolve is
+  // pure phase-2 pivoting and must match a cold solve.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> ref;
+    Model m = RandomLp(7500 + static_cast<uint64_t>(trial), 10, 7, &ref);
+    SimplexSolver warm_solver;
+    ASSERT_EQ(warm_solver.Solve(m).status, LpStatus::kOptimal);
+
+    Rng rng(7600 + static_cast<uint64_t>(trial));
+    for (size_t j = 0; j < m.num_variables(); ++j) {
+      if (rng.Bernoulli(0.4)) {
+        m.UpdateObjectiveCost(static_cast<VarId>(j), rng.Uniform(-3, 3));
+      }
+    }
+
+    LpResult warm = warm_solver.ResolveWithBasis(m, {});
+    SimplexSolver cold_solver;
+    LpResult cold = cold_solver.Solve(m);
+    ASSERT_EQ(warm.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_EQ(cold.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-5) << "trial " << trial;
+    EXPECT_TRUE(m.IsFeasible(warm.x, 1e-5));
+  }
+}
+
+TEST(WarmResolveTest, SingularStaleBasisDetectedOnImport) {
+  // A stale cross-round basis can be singular against the current model
+  // (e.g. coefficients changed underneath it). ImportBasis must detect this
+  // during its from-scratch refactorization and refuse — leaving the solver
+  // cold and correct — never install it and return garbage.
+  Model m;
+  m.AddContinuous(0, 10, -1.0);
+  m.AddContinuous(0, 10, -1.0);
+  RowId r0 = m.AddRow(0, 10);
+  m.AddCoefficient(r0, 0, 1.0);
+  m.AddCoefficient(r0, 1, 1.0);
+  RowId r1 = m.AddRow(0, 20);
+  m.AddCoefficient(r1, 0, 2.0);
+  m.AddCoefficient(r1, 1, 2.0);
+
+  // Both structural columns basic: (1,2) and (1,2) — a singular basis matrix
+  // with a shape fingerprint that matches the model exactly.
+  SimplexBasis stale;
+  stale.basic = {0, 1};
+  stale.status = {0, 0, 1, 1};  // kBasic, kBasic, kAtLower, kAtLower.
+  stale.rows = m.num_rows();
+  stale.vars = m.num_variables();
+  stale.nonzeros = 4;
+
+  SimplexSolver solver;
+  EXPECT_FALSE(solver.ImportBasis(m, stale));
+
+  // The refused import leaves the solver cold: the next resolve falls back
+  // to a from-scratch solve and matches an independent cold solver.
+  LpResult after = solver.ResolveWithBasis(m, {});
+  SimplexSolver cold;
+  LpResult reference = cold.Solve(m);
+  ASSERT_EQ(after.status, LpStatus::kOptimal);
+  ASSERT_EQ(reference.status, LpStatus::kOptimal);
+  EXPECT_NEAR(after.objective, reference.objective, 1e-6);
+  EXPECT_TRUE(m.IsFeasible(after.x, 1e-6));
+}
+
+TEST(WarmResolveTest, ExportedBasisRoundTripsThroughImport) {
+  // The resolve cache's basis lifecycle: export after an optimal solve,
+  // import into a fresh solver over the same model, and resolve — the warm
+  // restart must reach the optimum in (nearly) zero pivots.
+  std::vector<double> ref;
+  Model m = RandomLp(7700, 24, 16, &ref);
+  SimplexSolver first;
+  LpResult base = first.Solve(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  SimplexBasis basis = first.ExportBasis();
+  ASSERT_FALSE(basis.empty());
+
+  SimplexSolver second;
+  ASSERT_TRUE(second.ImportBasis(m, basis));
+  LpResult warm = second.ResolveWithBasis(m, {});
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, base.objective, 1e-6);
+  EXPECT_LE(warm.iterations, std::max<int64_t>(base.iterations / 4, 2));
+}
+
 TEST(WarmResolveTest, ChainOfResolves) {
   // Simulates a B&B dive: a chain of progressively tighter integer bounds.
   std::vector<double> ref;
