@@ -9,7 +9,9 @@
 #include <cstdio>
 
 #include "src/core/ras.h"
+#include "src/core/solver_supervisor.h"
 #include "src/fleet/fleet_gen.h"
+#include "src/obs/round_report.h"
 #include "src/twine/allocator.h"
 
 using namespace ras;
@@ -66,8 +68,10 @@ int main() {
   TwineAllocator twine(&fleet.catalog, &broker);
   OnlineMover mover(&broker, &registry, &twine);
   mover.ReconcileAll();
-  std::printf("\nsolve: %zu moves (%zu in-use), %.0f ms\n", stats->moves_total,
-              stats->moves_in_use, stats->total_seconds * 1e3);
+  // The standard per-round report (src/obs); this tour runs the solver bare,
+  // so the outcome record is the trivial top-rung one.
+  RoundOutcome record;
+  std::printf("\n%s\n", obs::FormatRoundReport(MakeRoundReport(record, *stats)).c_str());
 
   // 5. Explain the web reservation's composition to its owner.
   std::printf("\n%s\n",

@@ -13,6 +13,8 @@
 
 #include <cstdio>
 
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/sim/scenario.h"
 
 using namespace ras;
@@ -43,20 +45,14 @@ int main() {
 
   sim.ArmHealth(Days(2));
 
-  // Solver cadence: every 6 hours (step 8 of Figure 6, compressed).
+  // Solver cadence: every 6 hours (step 8 of Figure 6, compressed). Each
+  // round prints the standard src/obs report instead of a bespoke line.
   sim.loop.ScheduleEvery(SimTime{0}, Hours(6), [&](SimTime) {
     auto stats = sim.SolveRound();
-    if (stats.ok()) {
-      // reuse: "cold" on the first round or after invalidation; otherwise the
-      // incremental path reports what it salvaged from the previous round.
-      const char* reuse = stats->solve_skipped  ? "skipped"
-                          : stats->basis_reused ? "patched+basis"
-                          : stats->model_patched ? "patched"
-                                                 : "cold";
-      std::printf("  [solve] vars=%zu moves=%zu (in-use %zu) shortfall=%.1f reuse=%s delta=%d\n",
-                  stats->phase1.assignment_variables, stats->moves_total, stats->moves_in_use,
-                  stats->total_shortfall_rru, reuse, stats->delta_servers);
-    }
+    const RoundOutcome& record = sim.supervisor->stats().rounds.back();
+    std::printf("  %s\n",
+                obs::FormatRoundReport(MakeRoundReport(record, stats.ok() ? *stats : SolveStats()))
+                    .c_str());
   });
 
   // Diurnal capacity churn: engineers resize requests during working hours.
@@ -96,5 +92,13 @@ int main() {
   const MoverStats& ms = sim.mover->stats();
   std::printf("mover: %zu moves (%zu in-use), %zu failure replacements, %zu preemptions\n",
               ms.moves_applied, ms.in_use_moves, ms.failures_replaced, ms.containers_preempted);
+
+  // The pipeline's aggregated span tree (deterministic structure view) and an
+  // atomically-written metrics snapshot, as a scraper would see it.
+  std::printf("\n== solve pipeline spans ==\n%s",
+              obs::Tracer::Default().DumpTree(obs::Tracer::Dump::kStructure).c_str());
+  Status exported = obs::WriteSnapshotFiles(obs::MetricRegistry::Default(), "autopilot_obs");
+  std::printf("metrics snapshot: %s\n",
+              exported.ok() ? "autopilot_obs/metrics.{prom,json}" : exported.ToString().c_str());
   return 0;
 }

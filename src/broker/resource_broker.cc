@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace ras {
 
 bool IsUnplanned(Unavailability u) {
@@ -33,6 +35,9 @@ void ResourceBroker::SetTarget(ServerId id, ReservationId target) {
 Status ResourceBroker::TrySetTarget(ServerId id, ReservationId target) {
   if (write_fault_hook_ && write_fault_hook_(id, target)) {
     ++failed_writes_;
+    static obs::Counter& failed = obs::MetricRegistry::Default().counter(
+        "ras_broker_failed_writes_total", "Target writes rejected by the (simulated) store.");
+    failed.Add();
     return Status::Unavailable("broker target write failed for server " + std::to_string(id));
   }
   SetTarget(id, target);
@@ -53,6 +58,9 @@ Status ResourceBroker::ApplyTargets(
       for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
         SetTarget(it->first, it->second);
       }
+      static obs::Counter& rollbacks = obs::MetricRegistry::Default().counter(
+          "ras_broker_rollbacks_total", "Target batches rolled back on a failed write.");
+      rollbacks.Add();
       return status;
     }
     undo.emplace_back(server, previous);
@@ -130,6 +138,15 @@ void ResourceBroker::Unsubscribe(int handle) { watchers_.erase(handle); }
 
 void ResourceBroker::Notify(ServerId id) {
   BumpGeneration();
+  {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    static obs::Counter& bumps = reg.counter("ras_broker_generation_bumps_total",
+                                             "Store-wide generation bumps (record mutations).");
+    static obs::Gauge& generation_gauge =
+        reg.gauge("ras_broker_generation", "Current broker generation.");
+    bumps.Add();
+    generation_gauge.Set(static_cast<double>(generation()));
+  }
   // watchers_ is an ordered map: independent watchers see changes in handle
   // order, so replaying a scenario notifies them identically every run.
   for (auto& [handle, watcher] : watchers_) {

@@ -9,6 +9,8 @@
 #include "src/core/initial_assignment.h"
 #include "src/core/local_search.h"
 #include "src/core/lp_rounding.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/shard/demand_splitter.h"
 #include "src/shard/shard_planner.h"
 #include "src/shard/shard_solve.h"
@@ -70,6 +72,42 @@ void SummarizeReuse(SolveStats& stats) {
   stats.delta_servers = stats.phase1.delta_servers;
 }
 
+// Metrics recorded once per completed solve (any mode, monolithic or
+// sharded aggregate). Record-only: nothing here is read back by the solver.
+void RecordSolveMetrics(const SolveStats& stats) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  static obs::Counter& solves =
+      reg.counter("ras_solver_solves_total", "Completed solves (all modes).");
+  static obs::Counter& patched =
+      reg.counter("ras_solver_model_patched_total", "Rounds that patched the cached model.");
+  static obs::Counter& basis =
+      reg.counter("ras_solver_basis_reused_total", "Rounds that restarted from a cached basis.");
+  static obs::Counter& skipped =
+      reg.counter("ras_solver_solves_skipped_total", "Rounds served by the skip-solve fast path.");
+  static obs::Counter& moves =
+      reg.counter("ras_solver_moves_total", "Server moves proposed by completed solves.");
+  static obs::Histogram& seconds = reg.histogram(
+      "ras_solver_solve_seconds", "End-to-end solve wall time.", 0.0, 30.0, 120);
+  static obs::Histogram& delta = reg.histogram(
+      "ras_solver_delta_servers", "Round-over-round server delta (warm rounds only).", 0.0,
+      4096.0, 64);
+  solves.Add();
+  if (stats.model_patched) {
+    patched.Add();
+  }
+  if (stats.basis_reused) {
+    basis.Add();
+  }
+  if (stats.solve_skipped) {
+    skipped.Add();
+  }
+  moves.Add(static_cast<int64_t>(stats.moves_total));
+  seconds.Observe(stats.total_seconds);
+  if (stats.delta_servers >= 0) {
+    delta.Observe(static_cast<double>(stats.delta_servers));
+  }
+}
+
 }  // namespace
 
 AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
@@ -78,6 +116,7 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
                                                 const std::vector<int>& subset,
                                                 const MipOptions& mip_options,
                                                 double snapshot_seconds, int phase) {
+  obs::SpanScope phase_span(obs::Tracer::Default(), phase == 2 ? "phase2" : "phase1");
   PhaseOutcome outcome;
   outcome.stats.ran = true;
   outcome.stats.timings.ras_build_s = snapshot_seconds;
@@ -307,6 +346,21 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
       entry->valid = true;
     }
   }
+
+  {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    static obs::Counter& phases = reg.counter("ras_solver_phases_total", "Phase solves run.");
+    static obs::Counter& nodes =
+        reg.counter("ras_solver_mip_nodes_total", "Branch-and-bound nodes across phase solves.");
+    static obs::Histogram& phase_seconds = reg.histogram(
+        "ras_solver_phase_seconds", "Wall time of one phase (build + warm start + MIP).", 0.0,
+        30.0, 120);
+    phases.Add();
+    nodes.Add(outcome.stats.nodes);
+    const StepTimings& t = outcome.stats.timings;
+    phase_seconds.Observe(t.solver_build_s + t.initial_state_s + t.mip_s);
+    phase_span.set_value(outcome.stats.delta_servers);
+  }
   return outcome;
 }
 
@@ -386,6 +440,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     return SolveSharded(input, decoded_out, mode, shards);
   }
 
+  obs::SpanScope solve_span(obs::Tracer::Default(), "solve");
   double start = util::MonotonicSeconds();
   SolveStats stats;
 
@@ -420,6 +475,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     }
     stats.total_shortfall_rru = ComputeShortfall(input, decoded.targets);
     stats.total_seconds = util::MonotonicSeconds() - start;
+    RecordSolveMetrics(stats);
     if (decoded_out != nullptr) {
       *decoded_out = std::move(decoded);
     }
@@ -450,6 +506,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
     stats.total_shortfall_rru = ComputeShortfall(input, final_targets);
     stats.total_seconds = util::MonotonicSeconds() - start;
     SummarizeReuse(stats);
+    RecordSolveMetrics(stats);
     if (decoded_out != nullptr) {
       decoded_out->targets = std::move(final_targets);
       decoded_out->moves_total = stats.moves_total;
@@ -531,6 +588,7 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
   stats.total_shortfall_rru = ComputeShortfall(input, final_targets);
   stats.total_seconds = util::MonotonicSeconds() - start;
   SummarizeReuse(stats);
+  RecordSolveMetrics(stats);
 
   if (decoded_out != nullptr) {
     decoded_out->targets = std::move(final_targets);
@@ -544,6 +602,8 @@ Result<SolveStats> AsyncSolver::SolveSnapshot(const SolveInput& input,
 Result<SolveStats> AsyncSolver::SolveSharded(const SolveInput& input,
                                              DecodedAssignment* decoded_out, SolveMode mode,
                                              int shard_count) {
+  obs::SpanScope fanout_span(obs::Tracer::Default(), "shard_fanout");
+  fanout_span.set_value(shard_count);
   double start = util::MonotonicSeconds();
   ShardPlanOptions plan_options;
   plan_options.shard_count = shard_count;
@@ -626,6 +686,16 @@ Result<SolveStats> AsyncSolver::SolveSharded(const SolveInput& input,
   }
   stats.total_shortfall_rru = ComputeShortfall(input, outcome.merged.targets);
   stats.total_seconds = util::MonotonicSeconds() - start;
+  RecordSolveMetrics(stats);
+  {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+    static obs::Counter& failed =
+        reg.counter("ras_shard_failed_total", "Shard solves that returned an error.");
+    static obs::Counter& repair =
+        reg.counter("ras_shard_repair_moves_total", "Moves made by cross-shard stitch repair.");
+    failed.Add(static_cast<int64_t>(stats.failed_shards));
+    repair.Add(static_cast<int64_t>(stats.repair_moves));
+  }
 
   if (decoded_out != nullptr) {
     decoded_out->targets = std::move(outcome.merged.targets);

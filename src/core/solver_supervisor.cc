@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace ras {
@@ -21,6 +23,33 @@ const char* LadderRungName(LadderRung rung) {
       return "EMERGENCY";
   }
   return "UNKNOWN";
+}
+
+obs::RoundReport MakeRoundReport(const RoundOutcome& record, const SolveStats& stats) {
+  obs::RoundReport report;
+  report.round = record.round;
+  report.sim_seconds = record.time.seconds;
+  report.rung = LadderRungName(record.rung);
+  report.retries = record.retries;
+  if (!record.error.ok()) {
+    report.error = record.error.ToString();
+  }
+  report.produced_assignment = ProducedAssignment(record.rung);
+  report.assignment_variables = stats.phase1.assignment_variables;
+  report.moves_total = stats.moves_total;
+  report.moves_in_use = stats.moves_in_use;
+  report.shortfall_rru = stats.total_shortfall_rru;
+  report.wall_seconds = stats.total_seconds;
+  report.reuse = stats.solve_skipped    ? "skipped"
+                 : stats.basis_reused   ? "patched+basis"
+                 : stats.model_patched  ? "patched"
+                                        : "cold";
+  report.delta_servers = stats.delta_servers;
+  report.shard_count = stats.shard_count;
+  report.failed_shards = stats.failed_shards;
+  report.repair_moves = stats.repair_moves;
+  report.emergency_armed = record.emergency_armed;
+  return report;
 }
 
 SolverSupervisor::SolverSupervisor(AsyncSolver* solver, ResourceBroker* broker,
@@ -85,6 +114,7 @@ void SolverSupervisor::Backoff(int attempt) {
 }
 
 Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
+  obs::SpanScope attempt_span(obs::Tracer::Default(), "attempt");
   uint64_t snapshot_generation = broker_->generation();
   SolveInput input = SnapshotSolveInput(*broker_, *registry_, *catalog_);
   if (injector_ != nullptr && injector_->Fires(FaultKind::kSnapshotCorruption)) {
@@ -93,6 +123,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
   Status valid = ValidateSolveInput(input);
   if (!valid.ok()) {
     ++stats_.snapshots_rejected;
+    static obs::Counter& rejected = obs::MetricRegistry::Default().counter(
+        "ras_supervisor_snapshots_rejected_total", "Snapshots failing validation.");
+    rejected.Add();
     return valid;
   }
 
@@ -105,6 +138,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
     // The solve finished but its targets will never be applied; the resolve
     // cache now describes a round the world never saw. Start the retry cold.
     solver_->InvalidateResolveCache();
+    static obs::Counter& misses = obs::MetricRegistry::Default().counter(
+        "ras_supervisor_deadline_misses_total", "Solves discarded for blowing the deadline.");
+    misses.Add();
     return Status::DeadlineExceeded("solve took " + std::to_string(solved->total_seconds) +
                                     "s, deadline " +
                                     std::to_string(config_.solve_deadline_seconds) + "s");
@@ -118,6 +154,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
   // no longer exist in that state. Retry with a fresh snapshot instead.
   if (broker_->generation() != snapshot_generation) {
     ++stats_.stale_snapshots;
+    static obs::Counter& stale = obs::MetricRegistry::Default().counter(
+        "ras_supervisor_stale_snapshots_total", "Results dropped because the broker moved.");
+    stale.Add();
     solver_->InvalidateResolveCache();
     return Status::FailedPrecondition("broker generation moved during the solve (snapshot " +
                                       std::to_string(snapshot_generation) + ", now " +
@@ -129,6 +168,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
                          : broker_->ApplyTargets(decoded.targets);
   if (!persisted.ok()) {
     ++stats_.persist_failures;
+    static obs::Counter& persist_failed = obs::MetricRegistry::Default().counter(
+        "ras_supervisor_persist_failures_total", "Solve results whose persist rolled back.");
+    persist_failed.Add();
     // A failed (and rolled-back) broker write means the cached round was never
     // applied: any delta the next round computed against it would be fiction.
     solver_->InvalidateResolveCache();
@@ -140,7 +182,9 @@ Status SolverSupervisor::AttemptSolve(SolveMode mode, SolveStats* stats) {
 }
 
 SupervisedRound SolverSupervisor::RunRound() {
+  obs::SpanScope round_span(obs::Tracer::Default(), "round");
   int round = next_round_++;
+  round_span.set_value(round);
   if (injector_ != nullptr) {
     injector_->BeginRound(round, now());
   }
@@ -167,6 +211,9 @@ SupervisedRound SolverSupervisor::RunRound() {
       served = true;
     } else {
       ++stats_.failed_attempts;
+      static obs::Counter& failed_attempts = obs::MetricRegistry::Default().counter(
+          "ras_supervisor_failed_attempts_total", "Failed solve attempts across all rungs.");
+      failed_attempts.Add();
       error = status;
     }
   }
@@ -192,6 +239,9 @@ SupervisedRound SolverSupervisor::RunRound() {
       served = true;
     } else {
       ++stats_.failed_attempts;
+      static obs::Counter& failed_attempts = obs::MetricRegistry::Default().counter(
+          "ras_supervisor_failed_attempts_total", "Failed solve attempts across all rungs.");
+      failed_attempts.Add();
       error = status;
     }
   }
@@ -204,6 +254,9 @@ SupervisedRound SolverSupervisor::RunRound() {
       served = true;
     } else {
       ++stats_.failed_attempts;
+      static obs::Counter& failed_attempts = obs::MetricRegistry::Default().counter(
+          "ras_supervisor_failed_attempts_total", "Failed solve attempts across all rungs.");
+      failed_attempts.Add();
       error = status;
     }
   }
@@ -232,6 +285,11 @@ SupervisedRound SolverSupervisor::RunRound() {
     if (stats_.consecutive_failed_rounds >=
         static_cast<size_t>(config_.unhealthy_after_failures)) {
       out.rung = LadderRung::kEmergency;
+      if (!emergency_armed_) {
+        static obs::Counter& armed = obs::MetricRegistry::Default().counter(
+            "ras_supervisor_emergency_armed_total", "Transitions into the armed emergency path.");
+        armed.Add();
+      }
       emergency_armed_ = true;
       if (solver_healthy()) {
         stats_.unhealthy_since = now();
@@ -252,6 +310,23 @@ SupervisedRound SolverSupervisor::RunRound() {
   record.delta_servers = out.stats.delta_servers;
   ++stats_.rung_counts[static_cast<int>(out.rung)];
   stats_.rounds.push_back(std::move(record));
+
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  static obs::Counter& rounds_total =
+      reg.counter("ras_supervisor_rounds_total", "Supervised solve rounds.");
+  static obs::Counter& retries_total =
+      reg.counter("ras_supervisor_retries_total", "Full-rung retries across rounds.");
+  static obs::Gauge& failed_streak = reg.gauge(
+      "ras_supervisor_consecutive_failed_rounds", "Current streak without a fresh assignment.");
+  rounds_total.Add();
+  retries_total.Add(out.retries);
+  failed_streak.Set(static_cast<double>(stats_.consecutive_failed_rounds));
+  // Per-rung counters are labelled series of one family; the name varies per
+  // round, so this is a registry lookup rather than a static handle (once per
+  // round — nowhere near the hot path).
+  reg.counter(std::string("ras_supervisor_rung_total{rung=\"") + LadderRungName(out.rung) + "\"}",
+              "Rounds served, by the ladder rung that served them.")
+      .Add();
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include "src/core/async_solver.h"
 #include "src/core/emergency.h"
 #include "src/faults/fault_injector.h"
+#include "src/obs/round_report.h"
 #include "src/sim/event_loop.h"
 #include "src/util/rng.h"
 
@@ -113,6 +114,12 @@ struct RoundOutcome {
   bool solve_skipped = false;
   int delta_servers = -1;
 };
+
+// Builds the operator-facing per-round report (src/obs) from a round's
+// outcome record and the serving solve's stats. `record` supplies identity,
+// rung, and error; `stats` supplies solve shape (pass the SupervisedRound's
+// stats, zeroed for rungs that kept the previous assignment).
+obs::RoundReport MakeRoundReport(const RoundOutcome& record, const SolveStats& stats);
 
 struct SupervisorStats {
   std::vector<RoundOutcome> rounds;

@@ -7,7 +7,9 @@
 
 #include "src/core/state_io.h"
 #include "src/journal/crc32.h"
+#include "src/obs/metrics.h"
 #include "src/util/file_io.h"
+#include "src/util/monotonic_time.h"
 
 namespace ras {
 namespace journal {
@@ -148,10 +150,18 @@ Result<uint64_t> WriteAheadJournal::Append(RecordKind kind, const std::string& p
   }
   uint64_t generation = next_generation_;
   std::string frame = FrameRecord(generation, kind, payload);
+  const double t0 = util::MonotonicSeconds();
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
       std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
     return Status::Internal("journal append failed: " + path_);
   }
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  static obs::Counter& appends =
+      reg.counter("ras_journal_appends_total", "Records durably appended to the WAL.");
+  static obs::Histogram& append_seconds = reg.histogram(
+      "ras_journal_append_seconds", "Write + fsync latency of one WAL append.", 0.0, 0.1, 100);
+  appends.Add();
+  append_seconds.Observe(util::MonotonicSeconds() - t0);
   ++next_generation_;
   ++records_appended_;
   return generation;

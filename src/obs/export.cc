@@ -1,0 +1,178 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/util/file_io.h"
+
+namespace ras {
+namespace obs {
+
+namespace {
+
+// Splits `ras_x_total{rung="FULL"}` into base `ras_x_total` and inner labels
+// `rung="FULL"` (empty when the name carries no label set).
+void SplitName(const std::string& name, std::string* base, std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  size_t close = name.rfind('}');
+  if (close == std::string::npos || close <= brace) {
+    close = name.size();
+  }
+  *labels = name.substr(brace + 1, close - brace - 1);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Emits the # HELP / # TYPE header once per family (labelled series of one
+// family are adjacent in the name-ordered views, so tracking the previous
+// family suffices).
+void MaybeHeader(const std::string& family, const std::string& help, const char* type,
+                 std::string* last_family, std::string* out) {
+  if (family == *last_family) {
+    return;
+  }
+  *last_family = family;
+  out->append("# HELP ").append(family).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(family).append(" ").append(type).append("\n");
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricRegistry& registry) {
+  std::string out;
+  std::string base;
+  std::string labels;
+  std::string last_family;
+
+  for (const Counter* c : registry.Counters()) {
+    SplitName(c->name(), &base, &labels);
+    MaybeHeader(base, c->help(), "counter", &last_family, &out);
+    out.append(c->name()).append(" ").append(std::to_string(c->Value())).append("\n");
+  }
+  last_family.clear();
+  for (const Gauge* g : registry.Gauges()) {
+    SplitName(g->name(), &base, &labels);
+    MaybeHeader(base, g->help(), "gauge", &last_family, &out);
+    out.append(g->name()).append(" ").append(FormatDouble(g->Value())).append("\n");
+  }
+  last_family.clear();
+  for (const Histogram* h : registry.Histograms()) {
+    SplitName(h->name(), &base, &labels);
+    MaybeHeader(base, h->help(), "histogram", &last_family, &out);
+    const ras::Histogram snap = h->Snapshot();
+    uint64_t cum = 0;
+    for (size_t b = 0; b < snap.bucket_count(); ++b) {
+      cum += snap.bucket(b);
+      out.append(base).append("_bucket{");
+      if (!labels.empty()) {
+        out.append(labels).append(",");
+      }
+      out.append("le=\"").append(FormatDouble(snap.bucket_hi(b))).append("\"} ");
+      out.append(std::to_string(cum)).append("\n");
+    }
+    // Observations clamp into the edge buckets, so +Inf equals the total.
+    out.append(base).append("_bucket{");
+    if (!labels.empty()) {
+      out.append(labels).append(",");
+    }
+    out.append("le=\"+Inf\"} ").append(std::to_string(snap.total())).append("\n");
+    out.append(base).append("_sum");
+    if (!labels.empty()) {
+      out.append("{").append(labels).append("}");
+    }
+    out.append(" ").append(FormatDouble(h->Sum())).append("\n");
+    out.append(base).append("_count");
+    if (!labels.empty()) {
+      out.append("{").append(labels).append("}");
+    }
+    out.append(" ").append(std::to_string(snap.total())).append("\n");
+  }
+  return out;
+}
+
+std::string JsonSnapshot(const MetricRegistry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const Counter* c : registry.Counters()) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    \"").append(JsonEscape(c->name())).append("\": ");
+    out.append(std::to_string(c->Value()));
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const Gauge* g : registry.Gauges()) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    \"").append(JsonEscape(g->name())).append("\": ");
+    out.append(FormatDouble(g->Value()));
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const Histogram* h : registry.Histograms()) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    const ras::Histogram snap = h->Snapshot();
+    out.append("    \"").append(JsonEscape(h->name())).append("\": {");
+    out.append("\"lo\": ").append(FormatDouble(h->lo()));
+    out.append(", \"hi\": ").append(FormatDouble(h->hi()));
+    out.append(", \"buckets\": [");
+    for (size_t b = 0; b < snap.bucket_count(); ++b) {
+      if (b > 0) {
+        out.append(", ");
+      }
+      out.append(std::to_string(snap.bucket(b)));
+    }
+    out.append("], \"count\": ").append(std::to_string(snap.total()));
+    out.append(", \"sum\": ").append(FormatDouble(h->Sum()));
+    out.append(", \"p50\": ").append(FormatDouble(snap.Percentile(50)));
+    out.append(", \"p95\": ").append(FormatDouble(snap.Percentile(95)));
+    out.append(", \"p99\": ").append(FormatDouble(snap.Percentile(99)));
+    out.append("}");
+  }
+  out.append(first ? "}\n" : "\n  }\n");
+  out.append("}\n");
+  return out;
+}
+
+Status WriteSnapshotFiles(const MetricRegistry& registry, const std::string& dir) {
+  Status st = EnsureDirectory(dir);
+  if (!st.ok()) {
+    return st;
+  }
+  st = AtomicWriteFile(dir + "/metrics.prom", PrometheusText(registry));
+  if (!st.ok()) {
+    return st;
+  }
+  return AtomicWriteFile(dir + "/metrics.json", JsonSnapshot(registry));
+}
+
+}  // namespace obs
+}  // namespace ras

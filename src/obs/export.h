@@ -1,0 +1,45 @@
+// Exporters: render the metric registry into machine-readable forms.
+//
+// Two formats, both deterministic (metrics in name order, fixed float
+// formatting) so tests can golden-diff them:
+//
+//   PrometheusText   the text exposition format scrapers expect — one
+//                    # HELP / # TYPE pair per family, cumulative `_bucket`
+//                    lines with `le` labels for histograms, plus `_sum` and
+//                    `_count`;
+//   JsonSnapshot     a nested JSON object carrying the same data plus
+//                    derived p50/p95/p99 (via ras::Histogram::Percentile),
+//                    convenient for bench tooling and offline diffing.
+//
+// Writes go through util AtomicWriteFile, so a scraper tailing the snapshot
+// path never reads a torn file.
+
+#ifndef RAS_SRC_OBS_EXPORT_H_
+#define RAS_SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace ras {
+namespace obs {
+
+// Prometheus text exposition of every metric in `registry`, name-ordered.
+// Metric names may carry a `{label="value"}` suffix; families sharing a base
+// name emit one HELP/TYPE header (first-registered help wins).
+std::string PrometheusText(const MetricRegistry& registry);
+
+// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+// Histogram entries include lo/hi/buckets/count/sum/p50/p95/p99 and the raw
+// bucket counts.
+std::string JsonSnapshot(const MetricRegistry& registry);
+
+// Writes `<dir>/metrics.prom` and `<dir>/metrics.json` atomically, creating
+// `dir` (one level) if needed.
+Status WriteSnapshotFiles(const MetricRegistry& registry, const std::string& dir);
+
+}  // namespace obs
+}  // namespace ras
+
+#endif  // RAS_SRC_OBS_EXPORT_H_

@@ -1,0 +1,207 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/util/monotonic_time.h"
+
+namespace ras {
+namespace obs {
+
+namespace {
+// The calling thread's innermost open span (0 = none). SpanScope maintains
+// this; cross-thread fan-out passes the parent explicitly instead.
+thread_local uint64_t tls_current_span = 0;
+}  // namespace
+
+uint64_t CurrentSpanId() { return tls_current_span; }
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // Leaked: see header.
+  return *tracer;
+}
+
+uint64_t Tracer::StartSpan(const std::string& name, uint64_t parent) {
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  OpenSpan span;
+  span.parent = parent;
+  span.name = name;
+  span.wall_start_s = util::MonotonicSeconds();
+  if (sim_clock_) {
+    span.sim_seconds = sim_clock_();
+  }
+  MutexLock lock(&mu_);
+  const uint64_t id = next_id_++;
+  open_.emplace_back(id, std::move(span));  // Ids ascend, so the vector stays sorted.
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t id, int64_t value) {
+  if (id == 0) {
+    return;
+  }
+  const double wall_end = util::MonotonicSeconds();
+  MutexLock lock(&mu_);
+  auto it = std::lower_bound(open_.begin(), open_.end(), id,
+                             [](const auto& entry, uint64_t key) { return entry.first < key; });
+  if (it == open_.end() || it->first != id) {
+    return;  // Already ended (or Clear raced a stale id); ignore.
+  }
+  Span done;
+  done.id = id;
+  done.parent = it->second.parent;
+  done.name = std::move(it->second.name);
+  done.wall_start_s = it->second.wall_start_s;
+  done.wall_end_s = wall_end;
+  done.sim_seconds = it->second.sim_seconds;
+  done.value = value;
+  open_.erase(it);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(done));
+    ring_size_ = ring_.size();
+    ring_next_ = ring_size_ % capacity_;
+  } else {
+    ring_[ring_next_] = std::move(done);
+    ring_next_ = (ring_next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<Span> Tracer::Completed() const {
+  MutexLock lock(&mu_);
+  std::vector<Span> out;
+  out.reserve(ring_size_);
+  if (ring_size_ < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: oldest entry sits at the overwrite cursor.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(ring_next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  MutexLock lock(&mu_);
+  ring_.clear();
+  ring_next_ = 0;
+  ring_size_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::DumpTree(Dump mode) const {
+  const std::vector<Span> spans = Completed();
+
+  // Aggregate by (parent group, name). Groups form a tree: a span's group key
+  // is its parent's group, so N sibling "shard" spans under the same phase
+  // collapse into one "shard xN" line regardless of completion order.
+  struct Group {
+    uint64_t count = 0;
+    double wall_total_s = 0.0;
+    std::map<std::string, size_t> children;  // name -> group index (sorted).
+  };
+  std::vector<Group> groups(1);  // groups[0] = synthetic root.
+  std::map<uint64_t, size_t> span_group;  // span id -> its group index.
+
+  // A parent always starts (and gets its id) before its children, but it
+  // *completes* after them, so children can precede parents in the ring.
+  // Sorting by id restores start order... except that a parent may have been
+  // overwritten by ring wrap while its children survived; those children
+  // aggregate under the root with their own name (still deterministic for a
+  // given capacity/workload).
+  std::vector<const Span*> by_id;
+  by_id.reserve(spans.size());
+  for (const Span& s : spans) {
+    by_id.push_back(&s);
+  }
+  std::sort(by_id.begin(), by_id.end(),
+            [](const Span* a, const Span* b) { return a->id < b->id; });
+
+  for (const Span* s : by_id) {
+    size_t parent_group = 0;
+    auto pit = span_group.find(s->parent);
+    if (pit != span_group.end()) {
+      parent_group = pit->second;
+    }
+    auto [cit, inserted] = groups[parent_group].children.emplace(s->name, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+    }
+    const size_t g = cit->second;
+    ++groups[g].count;
+    groups[g].wall_total_s += s->wall_seconds();
+    span_group[s->id] = g;
+  }
+
+  std::string out;
+  // Recursive render without actual recursion (explicit stack), children in
+  // name order at every level.
+  struct Frame {
+    size_t group;
+    int depth;
+    const std::string* name;
+  };
+  std::vector<Frame> stack;
+  for (auto it = groups[0].children.rbegin(); it != groups[0].children.rend(); ++it) {
+    stack.push_back({it->second, 0, &it->first});
+  }
+  char line[256];
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Group& g = groups[f.group];
+    out.append(static_cast<size_t>(f.depth) * 2, ' ');
+    if (mode == Dump::kTimings) {
+      std::snprintf(line, sizeof(line), "%s x%llu total=%.6fs mean=%.6fs\n", f.name->c_str(),
+                    static_cast<unsigned long long>(g.count), g.wall_total_s,
+                    g.count == 0 ? 0.0 : g.wall_total_s / static_cast<double>(g.count));
+    } else {
+      std::snprintf(line, sizeof(line), "%s x%llu\n", f.name->c_str(),
+                    static_cast<unsigned long long>(g.count));
+    }
+    out += line;
+    for (auto it = g.children.rbegin(); it != g.children.rend(); ++it) {
+      stack.push_back({it->second, f.depth + 1, &it->first});
+    }
+  }
+  return out;
+}
+
+SpanScope::SpanScope(Tracer& tracer, const std::string& name)
+    : tracer_(tracer),
+      id_(tracer.StartSpan(name, tls_current_span)),
+      prev_current_(tls_current_span) {
+  if (id_ != 0) {
+    tls_current_span = id_;
+  }
+}
+
+SpanScope::SpanScope(Tracer& tracer, const std::string& name, uint64_t parent)
+    : tracer_(tracer), id_(tracer.StartSpan(name, parent)), prev_current_(tls_current_span) {
+  if (id_ != 0) {
+    tls_current_span = id_;
+  }
+}
+
+SpanScope::~SpanScope() {
+  if (id_ != 0) {
+    tls_current_span = prev_current_;
+    tracer_.EndSpan(id_, value_);
+  }
+}
+
+}  // namespace obs
+}  // namespace ras

@@ -4,6 +4,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/monotonic_time.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
@@ -114,15 +116,23 @@ ShardSolveOutcome SolveShards(const SolveInput& input, const ShardPlan& plan,
     MutexLock lock(&state.mu);  // No workers yet.
     state.slots.resize(static_cast<size_t>(shard_count));
   }
+  // Captured before the fan-out: pool workers carry no thread-local span
+  // context, so each per-shard span names the coordinator's span explicitly.
+  const uint64_t trace_parent = obs::CurrentSpanId();
   auto run_shard = [&](int shard) {
     ShardResult result;
     SolveInput shard_input = MakeShardInput(input, plan, demand, shard);
     if (shard_input.reservations.empty()) {
       return;  // No span member placed demand here; the slot stays empty-OK.
     }
+    obs::SpanScope shard_span(obs::Tracer::Default(), "shard", trace_parent);
+    shard_span.set_value(shard);
     double t0 = util::MonotonicSeconds();
     Result<SolveStats> solved = solve_shard(shard, shard_input, &result.decoded);
     result.wall_seconds = util::MonotonicSeconds() - t0;
+    static obs::Histogram& shard_seconds = obs::MetricRegistry::Default().histogram(
+        "ras_shard_solve_seconds", "Wall time of one shard's sub-solve.", 0.0, 30.0, 120);
+    shard_seconds.Observe(result.wall_seconds);
     if (solved.ok()) {
       result.stats = *solved;
     } else {

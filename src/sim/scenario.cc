@@ -1,5 +1,6 @@
 #include "src/sim/scenario.h"
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/stats.h"
 
@@ -7,6 +8,10 @@ namespace ras {
 
 RegionScenario::RegionScenario(const ScenarioOptions& options)
     : fleet(GenerateFleet(options.fleet)), rng(options.seed) {
+  // Solve-pipeline spans record the simulated instant they opened at,
+  // alongside wall time. Last scenario constructed wins the global tracer;
+  // the destructor unwires it.
+  obs::Tracer::Default().set_sim_clock([this] { return loop.now().seconds; });
   broker = std::make_unique<ResourceBroker>(&fleet.topology);
   twine = std::make_unique<TwineAllocator>(&fleet.catalog, broker.get());
   mover = std::make_unique<OnlineMover>(broker.get(), &registry, twine.get());
@@ -47,6 +52,8 @@ RegionScenario::RegionScenario(const ScenarioOptions& options)
   }
   supervisor->SetTargetPersistence(durable.get());
 }
+
+RegionScenario::~RegionScenario() { obs::Tracer::Default().set_sim_clock(nullptr); }
 
 Result<ReservationId> RegionScenario::AdmitReservation(ReservationSpec spec) {
   if (durable != nullptr && !durable->dead()) {

@@ -44,6 +44,8 @@ struct ScenarioOptions {
 class RegionScenario {
  public:
   explicit RegionScenario(const ScenarioOptions& options);
+  // Unwires this scenario's sim clock from the process-wide tracer.
+  ~RegionScenario();
 
   // --- Components (public: benches drive them directly) ---
   Fleet fleet;

@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 
+#include "src/obs/metrics.h"
 #include "src/util/monotonic_time.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
@@ -171,8 +172,32 @@ bool TryFixAndSolve(const Model& model, const std::vector<BoundOverride>& node_o
 }  // namespace
 
 MipResult MipSolver::Solve(const Model& model, const std::vector<double>* warm_start) {
-  return options_.threads > 1 ? SolveParallel(model, warm_start)
-                              : SolveSerial(model, warm_start);
+  MipResult result = options_.threads > 1 ? SolveParallel(model, warm_start)
+                                          : SolveSerial(model, warm_start);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  static obs::Counter& solves = reg.counter("ras_mip_solves_total", "Branch-and-bound runs.");
+  static obs::Counter& nodes =
+      reg.counter("ras_mip_nodes_total", "Nodes explored across branch-and-bound runs.");
+  static obs::Counter& lp_iterations =
+      reg.counter("ras_mip_lp_iterations_total", "Simplex iterations summed over node LPs.");
+  static obs::Counter& root_basis =
+      reg.counter("ras_mip_root_basis_used_total", "Runs that imported a cached root basis.");
+  static obs::Counter& time_limit =
+      reg.counter("ras_mip_time_limit_hits_total", "Runs cut off by their time limit.");
+  static obs::Histogram& seconds =
+      reg.histogram("ras_mip_solve_seconds", "Wall time of one branch-and-bound run.", 0.0, 30.0,
+                    120);
+  solves.Add();
+  nodes.Add(result.nodes);
+  lp_iterations.Add(result.lp_iterations);
+  if (result.root_basis_used) {
+    root_basis.Add();
+  }
+  if (result.hit_time_limit) {
+    time_limit.Add();
+  }
+  seconds.Observe(result.solve_seconds);
+  return result;
 }
 
 MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* warm_start) {

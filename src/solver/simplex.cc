@@ -5,7 +5,27 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/obs/metrics.h"
+
 namespace ras {
+namespace {
+
+// Recorded once per LP solve (including node LPs inside branch-and-bound):
+// a handful of relaxed atomic adds against the work of the solve itself.
+void RecordLpMetrics(const LpResult& result) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Default();
+  static obs::Counter& solves =
+      reg.counter("ras_simplex_solves_total", "LP solves, cold starts and basis resolves.");
+  static obs::Counter& iterations =
+      reg.counter("ras_simplex_iterations_total", "Simplex pivots across all solves.");
+  static obs::Counter& refactorizations = reg.counter(
+      "ras_simplex_refactorizations_total", "Basis inverse rebuilds across all solves.");
+  solves.Add();
+  iterations.Add(result.iterations);
+  refactorizations.Add(result.refactorizations);
+}
+
+}  // namespace
 
 const char* LpStatusName(LpStatus status) {
   switch (status) {
@@ -262,6 +282,7 @@ LpResult SimplexSolver::Solve(const Model& model, const std::vector<BoundOverrid
     prepared_vars_ = model.num_variables();
     prepared_nonzeros_ = model.num_nonzeros();
   }
+  RecordLpMetrics(result);
   return result;
 }
 
@@ -314,6 +335,7 @@ LpResult SimplexSolver::ResolveWithBasis(const Model& model,
   ComputeBasicValues();
   LpResult result = RunSimplex(model);
   basis_valid_ = result.status == LpStatus::kOptimal;
+  RecordLpMetrics(result);
   return result;
 }
 

@@ -89,6 +89,61 @@ void Histogram::Add(double x) {
   ++total_;
 }
 
+void Histogram::AddCount(size_t i, uint64_t n) {
+  assert(i < counts_.size());
+  counts_[i] += n;
+  total_ += n;
+}
+
+bool Histogram::MergeableWith(const Histogram& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size();
+}
+
+bool Histogram::Merge(const Histogram& other) {
+  if (!MergeableWith(other)) {
+    return false;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  return true;
+}
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  assert(p >= 0.0 && p <= 100.0);
+  // Rank in [0, total]: the number of samples at or below the answer. Walking
+  // cumulative counts, the rank falls inside exactly one nonempty bucket
+  // (or on its boundary); interpolate linearly within that bucket's width.
+  const double rank = p / 100.0 * static_cast<double>(total_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (rank <= static_cast<double>(cum)) {
+      // p = 0 lands here with rank == before on the first nonempty bucket and
+      // returns its lower edge; a rank exactly at `cum` returns the upper
+      // edge. Both ends of the interpolation are bucket boundaries, so edge
+      // values are exact, not epsilon-dependent.
+      const double frac = (rank - before) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + width_ * frac;
+    }
+  }
+  // p = 100 (rank == total): upper edge of the last nonempty bucket.
+  for (size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0) {
+      return bucket_hi(i);
+    }
+  }
+  return 0.0;
+}
+
 double Histogram::bucket_lo(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 
 double Histogram::bucket_hi(size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }

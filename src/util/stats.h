@@ -44,18 +44,44 @@ double Variance(const std::vector<double>& samples);
 double Mean(const std::vector<double>& samples);
 
 // Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
-// first/last bucket. Used by the figure benches to print distributions.
+// first/last bucket. Used by the figure benches to print distributions and by
+// the observability registry (src/obs) as the snapshot/merge representation
+// of its sharded latency histograms.
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t buckets);
 
   void Add(double x);
+  // Bulk-adds `n` samples into bucket `i` (the merge/snapshot path: callers
+  // that already hold per-bucket counts, like obs::Histogram shards).
+  void AddCount(size_t i, uint64_t n);
+
+  // True when `other` has identical bucket boundaries (same lo, hi, count) so
+  // the two can be merged bucket-for-bucket.
+  bool MergeableWith(const Histogram& other) const;
+  // Adds `other`'s counts into this histogram. Returns false (and leaves this
+  // histogram untouched) when the bucket boundaries differ.
+  bool Merge(const Histogram& other);
 
   size_t bucket_count() const { return counts_.size(); }
   uint64_t bucket(size_t i) const { return counts_[i]; }
   double bucket_lo(size_t i) const;
   double bucket_hi(size_t i) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bucket_width() const { return width_; }
   uint64_t total() const { return total_; }
+
+  // The p-th percentile (p in [0, 100]) estimated from bucket counts with
+  // linear interpolation inside the bucket. Edge semantics are exact and
+  // unit-tested:
+  //   - empty histogram           -> 0.0
+  //   - p = 0                     -> lower edge of the first nonempty bucket
+  //   - p = 100                   -> upper edge of the last nonempty bucket
+  //   - the rank landing exactly on a bucket boundary returns that boundary
+  // (Out-of-range samples were clamped at Add() time, so the estimate is
+  // bounded by [lo, hi] by construction.)
+  double Percentile(double p) const;
 
   // Multi-line "lo..hi  count  ####" rendering for harness output.
   std::string ToString(size_t max_bar_width = 40) const;

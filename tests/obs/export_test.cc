@@ -1,0 +1,117 @@
+#include "src/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/util/file_io.h"
+
+namespace ras {
+namespace obs {
+namespace {
+
+// Builds a small registry covering every exposition shape: plain counter,
+// labelled counter family, gauge, histogram.
+void FillDemoRegistry(MetricRegistry& reg) {
+  reg.counter("ras_demo_events_total", "Demo events.").Add(3);
+  reg.counter("ras_demo_rung_total{rung=\"FULL\"}", "Rounds per rung.").Add(2);
+  reg.counter("ras_demo_rung_total{rung=\"PHASE1\"}", "Rounds per rung.").Add(1);
+  reg.gauge("ras_demo_depth", "Queue depth.").Set(1.5);
+  Histogram& h = reg.histogram("ras_demo_latency_seconds", "Solve latency.", 0.0, 10.0, 5);
+  h.Observe(1.0);
+  h.Observe(5.0);
+  h.Observe(9.0);
+}
+
+TEST(PrometheusTextTest, GoldenExposition) {
+  MetricRegistry reg;
+  FillDemoRegistry(reg);
+  const std::string expected =
+      "# HELP ras_demo_events_total Demo events.\n"
+      "# TYPE ras_demo_events_total counter\n"
+      "ras_demo_events_total 3\n"
+      "# HELP ras_demo_rung_total Rounds per rung.\n"
+      "# TYPE ras_demo_rung_total counter\n"
+      "ras_demo_rung_total{rung=\"FULL\"} 2\n"
+      "ras_demo_rung_total{rung=\"PHASE1\"} 1\n"
+      "# HELP ras_demo_depth Queue depth.\n"
+      "# TYPE ras_demo_depth gauge\n"
+      "ras_demo_depth 1.5\n"
+      "# HELP ras_demo_latency_seconds Solve latency.\n"
+      "# TYPE ras_demo_latency_seconds histogram\n"
+      "ras_demo_latency_seconds_bucket{le=\"2\"} 1\n"
+      "ras_demo_latency_seconds_bucket{le=\"4\"} 1\n"
+      "ras_demo_latency_seconds_bucket{le=\"6\"} 2\n"
+      "ras_demo_latency_seconds_bucket{le=\"8\"} 2\n"
+      "ras_demo_latency_seconds_bucket{le=\"10\"} 3\n"
+      "ras_demo_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "ras_demo_latency_seconds_sum 15\n"
+      "ras_demo_latency_seconds_count 3\n";
+  EXPECT_EQ(PrometheusText(reg), expected);
+}
+
+TEST(PrometheusTextTest, LabelledHistogramMergesLabelsWithLe) {
+  MetricRegistry reg;
+  Histogram& h =
+      reg.histogram("ras_demo_wait_seconds{phase=\"p1\"}", "Waits.", 0.0, 2.0, 2);
+  h.Observe(0.5);
+  const std::string text = PrometheusText(reg);
+  EXPECT_NE(text.find("ras_demo_wait_seconds_bucket{phase=\"p1\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ras_demo_wait_seconds_sum{phase=\"p1\"} 0.5\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ras_demo_wait_seconds_count{phase=\"p1\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, EmptyRegistryIsEmptyText) {
+  MetricRegistry reg;
+  EXPECT_EQ(PrometheusText(reg), "");
+}
+
+TEST(JsonSnapshotTest, GoldenSnapshot) {
+  MetricRegistry reg;
+  FillDemoRegistry(reg);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"ras_demo_events_total\": 3,\n"
+      "    \"ras_demo_rung_total{rung=\\\"FULL\\\"}\": 2,\n"
+      "    \"ras_demo_rung_total{rung=\\\"PHASE1\\\"}\": 1\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"ras_demo_depth\": 1.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"ras_demo_latency_seconds\": {\"lo\": 0, \"hi\": 10, "
+      "\"buckets\": [1, 0, 1, 0, 1], \"count\": 3, \"sum\": 15, "
+      "\"p50\": 5, \"p95\": 9.7, \"p99\": 9.94}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(JsonSnapshot(reg), expected);
+}
+
+TEST(JsonSnapshotTest, EmptyRegistryIsValidShape) {
+  MetricRegistry reg;
+  EXPECT_EQ(JsonSnapshot(reg),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+}
+
+TEST(WriteSnapshotFilesTest, WritesBothFormats) {
+  MetricRegistry reg;
+  FillDemoRegistry(reg);
+  const std::string dir = ::testing::TempDir() + "/obs_export_test";
+  ASSERT_TRUE(WriteSnapshotFiles(reg, dir).ok());
+  auto prom = ReadFileToString(dir + "/metrics.prom");
+  auto json = ReadFileToString(dir + "/metrics.json");
+  ASSERT_TRUE(prom.ok());
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(*prom, PrometheusText(reg));
+  EXPECT_EQ(*json, JsonSnapshot(reg));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ras

@@ -1,0 +1,138 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ras {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("ras_test_events_total", "Test events.");
+  EXPECT_EQ(c.Value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  EXPECT_EQ(c.name(), "ras_test_events_total");
+  EXPECT_EQ(c.help(), "Test events.");
+}
+
+TEST(CounterTest, FindOrCreateReturnsSameInstance) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("ras_test_events_total", "Test events.");
+  Counter& b = reg.counter("ras_test_events_total", "ignored on re-request");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  MetricRegistry reg;
+  Gauge& g = reg.gauge("ras_test_depth", "Queue depth.");
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(7.5);
+  g.Set(2.25);
+  EXPECT_EQ(g.Value(), 2.25);
+}
+
+TEST(HistogramTest, ObserveClampsLikeUtilHistogram) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("ras_test_latency_seconds", "Latency.", 0.0, 10.0, 5);
+  h.Observe(0.5);    // Bucket 0.
+  h.Observe(9.5);    // Bucket 4.
+  h.Observe(-3.0);   // Clamps to bucket 0.
+  h.Observe(42.0);   // Clamps to bucket 4.
+  h.Observe(5.0);    // Bucket 2 (boundary goes up).
+  ras::Histogram snap = h.Snapshot();
+  EXPECT_EQ(snap.total(), 5u);
+  EXPECT_EQ(snap.bucket(0), 2u);
+  EXPECT_EQ(snap.bucket(2), 1u);
+  EXPECT_EQ(snap.bucket(4), 2u);
+  EXPECT_EQ(h.Count(), 5u);
+  // The sum tracks the raw observations, not the clamped buckets.
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 9.5 - 3.0 + 42.0 + 5.0);
+}
+
+TEST(HistogramTest, SnapshotAnswersPercentiles) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("ras_test_latency_seconds", "Latency.", 0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(2.5);
+  }
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(100), 3.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(50), 2.5);
+}
+
+TEST(MetricRegistryTest, DisabledMetricsFreeze) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("ras_test_events_total", "Test events.");
+  Gauge& g = reg.gauge("ras_test_depth", "Depth.");
+  Histogram& h = reg.histogram("ras_test_latency_seconds", "Latency.", 0.0, 1.0, 4);
+  c.Add(5);
+  g.Set(1.0);
+  h.Observe(0.5);
+  reg.set_enabled(false);
+  c.Add(100);
+  g.Set(9.0);
+  h.Observe(0.9);
+  EXPECT_EQ(c.Value(), 5);
+  EXPECT_EQ(g.Value(), 1.0);
+  EXPECT_EQ(h.Count(), 1u);
+  reg.set_enabled(true);
+  c.Add(1);
+  EXPECT_EQ(c.Value(), 6);
+}
+
+TEST(MetricRegistryTest, ResetValuesKeepsRegistrationsAndHandles) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("ras_test_events_total", "Test events.");
+  Histogram& h = reg.histogram("ras_test_latency_seconds", "Latency.", 0.0, 1.0, 4);
+  c.Add(10);
+  h.Observe(0.5);
+  reg.ResetValues();
+  // Outstanding references stay valid and read zero.
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  // The registration survived: re-requesting yields the same instance.
+  EXPECT_EQ(&reg.counter("ras_test_events_total", ""), &c);
+  c.Add(2);
+  EXPECT_EQ(c.Value(), 2);
+}
+
+TEST(MetricRegistryTest, ViewsAreNameOrderedAndKindFiltered) {
+  MetricRegistry reg;
+  reg.counter("ras_b_total", "b");
+  reg.counter("ras_a_total", "a");
+  reg.gauge("ras_c_depth", "c");
+  reg.histogram("ras_d_seconds", "d", 0.0, 1.0, 2);
+  auto counters = reg.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0]->name(), "ras_a_total");
+  EXPECT_EQ(counters[1]->name(), "ras_b_total");
+  ASSERT_EQ(reg.Gauges().size(), 1u);
+  EXPECT_EQ(reg.Gauges()[0]->name(), "ras_c_depth");
+  ASSERT_EQ(reg.Histograms().size(), 1u);
+  EXPECT_EQ(reg.Histograms()[0]->name(), "ras_d_seconds");
+}
+
+TEST(MetricRegistryTest, DefaultIsProcessWideSingleton) {
+  MetricRegistry& a = MetricRegistry::Default();
+  MetricRegistry& b = MetricRegistry::Default();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricRegistryTest, LabelledSeriesAreDistinctMetrics) {
+  MetricRegistry reg;
+  Counter& full = reg.counter("ras_test_rung_total{rung=\"FULL\"}", "Rounds per rung.");
+  Counter& degraded = reg.counter("ras_test_rung_total{rung=\"PHASE1\"}", "Rounds per rung.");
+  EXPECT_NE(&full, &degraded);
+  full.Add(2);
+  degraded.Add(1);
+  EXPECT_EQ(full.Value(), 2);
+  EXPECT_EQ(degraded.Value(), 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ras

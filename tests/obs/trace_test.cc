@@ -1,0 +1,147 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ras {
+namespace obs {
+namespace {
+
+TEST(TracerTest, SpanScopeNestsImplicitly) {
+  Tracer tracer;
+  {
+    SpanScope round(tracer, "round");
+    EXPECT_EQ(CurrentSpanId(), round.id());
+    {
+      SpanScope phase(tracer, "phase1");
+      EXPECT_EQ(CurrentSpanId(), phase.id());
+    }
+    EXPECT_EQ(CurrentSpanId(), round.id());
+  }
+  EXPECT_EQ(CurrentSpanId(), 0u);
+  std::vector<Span> spans = tracer.Completed();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner span completes first; its parent is the outer span.
+  EXPECT_EQ(spans[0].name, "phase1");
+  EXPECT_EQ(spans[1].name, "round");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_GE(spans[0].wall_end_s, spans[0].wall_start_s);
+}
+
+TEST(TracerTest, ExplicitParentCrossesThreadBoundaryShape) {
+  Tracer tracer;
+  uint64_t fanout_id = 0;
+  {
+    SpanScope fanout(tracer, "shard_fanout");
+    fanout_id = fanout.id();
+    // A worker with no thread-local context attaches via the explicit parent.
+    SpanScope shard(tracer, "shard", fanout_id);
+    EXPECT_EQ(CurrentSpanId(), shard.id());
+  }
+  std::vector<Span> spans = tracer.Completed();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "shard");
+  EXPECT_EQ(spans[0].parent, fanout_id);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  {
+    SpanScope s(tracer, "round");
+    EXPECT_EQ(s.id(), 0u);
+    EXPECT_EQ(CurrentSpanId(), 0u);
+  }
+  EXPECT_TRUE(tracer.Completed().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, RingBufferDropsOldestAndCounts) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    SpanScope s(tracer, "span" + std::to_string(i));
+  }
+  std::vector<Span> spans = tracer.Completed();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Oldest-first view of the survivors.
+  EXPECT_EQ(spans[0].name, "span6");
+  EXPECT_EQ(spans[3].name, "span9");
+}
+
+TEST(TracerTest, SimClockStampsSpans) {
+  Tracer tracer;
+  int64_t now = 100;
+  tracer.set_sim_clock([&now] { return now; });
+  {
+    SpanScope s(tracer, "round");
+    now = 200;  // Moves while the span is open; the span records its start.
+  }
+  tracer.set_sim_clock(nullptr);
+  {
+    SpanScope s(tracer, "unclocked");
+  }
+  std::vector<Span> spans = tracer.Completed();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].sim_seconds, 100);
+  EXPECT_EQ(spans[1].sim_seconds, -1);
+}
+
+TEST(TracerTest, DumpTreeAggregatesSiblingsByName) {
+  Tracer tracer;
+  {
+    SpanScope round(tracer, "round");
+    for (int phase = 0; phase < 2; ++phase) {
+      SpanScope p(tracer, "phase");
+      for (int shard = 0; shard < 3; ++shard) {
+        SpanScope s(tracer, "shard");
+      }
+    }
+  }
+  std::string tree = tracer.DumpTree(Tracer::Dump::kStructure);
+  EXPECT_EQ(tree,
+            "round x1\n"
+            "  phase x2\n"
+            "    shard x6\n");
+}
+
+TEST(TracerTest, DumpTreeIsDeterministicAcrossCompletionOrder) {
+  // Two tracers record the same logical tree; the second finishes children in
+  // a different interleaving. The structure dump must match exactly.
+  auto build = [](Tracer& tracer, bool reversed) {
+    SpanScope round(tracer, "round");
+    uint64_t parent = round.id();
+    if (!reversed) {
+      SpanScope a(tracer, "alpha", parent);
+      SpanScope b(tracer, "beta", parent);
+    } else {
+      uint64_t a = tracer.StartSpan("alpha", parent);
+      uint64_t b = tracer.StartSpan("beta", parent);
+      tracer.EndSpan(a);  // Ends in start order this time, not reverse.
+      tracer.EndSpan(b);
+    }
+  };
+  Tracer one;
+  Tracer two;
+  build(one, false);
+  build(two, true);
+  EXPECT_EQ(one.DumpTree(Tracer::Dump::kStructure), two.DumpTree(Tracer::Dump::kStructure));
+}
+
+TEST(TracerTest, ClearResetsSpansAndDropCount) {
+  Tracer tracer(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    SpanScope s(tracer, "s");
+  }
+  EXPECT_GT(tracer.dropped(), 0u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Completed().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ras

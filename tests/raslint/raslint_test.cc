@@ -152,6 +152,25 @@ TEST(RaslintRules, FloatMoneyOutsideLedgerDirOnlyFlagsFloatRru) {
             MarkerLines(content, "EXPECT-LINT-ANYWHERE"));
 }
 
+TEST(RaslintRules, MetricNameFiresAtMarkedLines) {
+  ExpectFiresOnMarkers("metric_name.cc.fixture", "src/core/metric_name.cc",
+                       "ras-metric-name");
+}
+
+TEST(RaslintRules, MetricNameCountsSuppressedImport) {
+  const std::string content = ReadFixture("metric_name.cc.fixture");
+  FileLintResult result = AnalyzeSource("src/core/metric_name.cc", content);
+  EXPECT_EQ(result.suppressed, 1) << "the NOLINTNEXTLINE'd legacy name must be counted";
+}
+
+TEST(RaslintRules, MetricNameChecksBenchAndTestCodeToo) {
+  // The convention binds every caller of the registry, not just src/: a test
+  // or bench that registers a misnamed series pollutes the same exposition.
+  FileLintResult result = AnalyzeSource(
+      "bench/bench_obs.cpp", "void F(ras::obs::MetricRegistry& r) { r.counter(\"bad\", \"\"); }");
+  EXPECT_EQ(DiagnosticLines(result, "ras-metric-name"), (std::set<int>{1}));
+}
+
 TEST(RaslintRules, IncludeHygieneFiresAtMarkedLines) {
   ExpectFiresOnMarkers("include_hygiene.h.fixture", "src/solver/include_hygiene.h",
                        "ras-include-hygiene");
@@ -242,7 +261,7 @@ TEST(RaslintDriver, CollectFilesSkipsFixturesAndBuildTrees) {
 }
 
 // The acceptance criterion for the whole lint pass: the repository's own
-// sources are clean under all six rules. A regression anywhere in src/,
+// sources are clean under all seven rules. A regression anywhere in src/,
 // tools/ or tests/ fails this test with the offending file:line.
 TEST(RaslintMeta, FullRepoScanIsClean) {
   std::vector<std::string> files = CollectFiles(RAS_SOURCE_DIR, {"src", "tools", "tests"});

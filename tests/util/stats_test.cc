@@ -84,6 +84,105 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(2), 6.0);
 }
 
+TEST(HistogramTest, AddCountBulkInsert) {
+  Histogram h(0, 10, 5);
+  h.AddCount(1, 3);
+  h.AddCount(4, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(1), 3u);
+  EXPECT_EQ(h.bucket(4), 2u);
+}
+
+TEST(HistogramTest, MergeAddsBucketForBucket) {
+  Histogram a(0, 10, 5);
+  Histogram b(0, 10, 5);
+  a.Add(1);
+  a.Add(9);
+  b.Add(1);
+  b.Add(5);
+  ASSERT_TRUE(a.MergeableWith(b));
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.bucket(4), 1u);
+}
+
+TEST(HistogramTest, MergeRejectsShapeMismatch) {
+  Histogram a(0, 10, 5);
+  Histogram wrong_buckets(0, 10, 4);
+  Histogram wrong_range(0, 20, 5);
+  a.Add(3);
+  EXPECT_FALSE(a.Merge(wrong_buckets));
+  EXPECT_FALSE(a.Merge(wrong_range));
+  // A rejected merge leaves the target untouched.
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.bucket(1), 1u);
+}
+
+// --- Percentile-from-buckets edge semantics (locked down exactly) ----------
+
+TEST(HistogramPercentileTest, EmptyIsZero) {
+  Histogram h(0, 10, 5);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleSampleInterpolatesWithinBucket) {
+  // One sample in bucket [2, 3): rank p/100 sweeps the bucket linearly.
+  Histogram h(0, 10, 10);
+  h.Add(2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 2.0);    // Lower edge of first nonempty.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 2.5);   // Midpoint of the bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 3.0);  // Upper edge of last nonempty.
+}
+
+TEST(HistogramPercentileTest, UniformFillMatchesLinearRamp) {
+  // 10 buckets x 10 samples each: percentile p maps to value p/10 exactly.
+  Histogram h(0, 10, 10);
+  for (size_t b = 0; b < 10; ++b) {
+    h.AddCount(b, 10);
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 9.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 9.9);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramPercentileTest, RankOnBucketBoundaryReturnsTheBoundary) {
+  // 4 samples in bucket 0 ([0,2)), 4 in bucket 3 ([6,8)). p50's rank (4 of 8)
+  // completes bucket 0 exactly: the answer is that bucket's upper edge, 2.0 —
+  // not the lower edge of the next nonempty bucket across the gap.
+  Histogram h(0, 10, 5);
+  h.AddCount(0, 4);
+  h.AddCount(3, 4);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 2.0);
+  // Just past the boundary the answer jumps into the next nonempty bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(62.5), 6.5);  // Rank 5 of 8: 1/4 into [6,8).
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 8.0);
+}
+
+TEST(HistogramPercentileTest, SkewedMassLandsInHeavyBucket) {
+  Histogram h(0, 100, 10);
+  h.AddCount(0, 98);  // [0, 10)
+  h.AddCount(9, 2);   // [90, 100)
+  EXPECT_NEAR(h.Percentile(50), 10.0 * 50.0 / 98.0, 1e-12);  // Rank 50 of 100 in [0,10).
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 95.0);  // Rank 99 of 100: halfway into [90,100).
+}
+
+TEST(HistogramPercentileTest, MergedHistogramMatchesCombinedCounts) {
+  Histogram a(0, 10, 10);
+  Histogram b(0, 10, 10);
+  for (int i = 0; i < 50; ++i) {
+    a.Add(2.5);
+    b.Add(7.5);
+  }
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 3.0);  // Rank 50 completes bucket [2,3).
+  EXPECT_DOUBLE_EQ(a.Percentile(75), 7.5);
+}
+
 TEST(HistogramTest, ToStringContainsBars) {
   Histogram h(0, 4, 2);
   h.Add(1);

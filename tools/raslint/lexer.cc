@@ -167,7 +167,9 @@ FileScan Lex(const std::string& path, const std::string& content) {
       }
     }
 
-    // String / char literal.
+    // String / char literal. The token carries the literal's source text
+    // (escapes un-processed, quotes stripped) so content-sensitive rules like
+    // ras-metric-name can validate it; identifier rules ignore kString.
     if (c == '"' || c == '\'') {
       char quote = c;
       int start_line = line;
@@ -178,7 +180,8 @@ FileScan Lex(const std::string& path, const std::string& content) {
         ++j;
       }
       size_t len = (j < n ? j + 1 : n) - i;
-      scan.tokens.push_back(Token{Token::Kind::kString, "", start_line});
+      scan.tokens.push_back(
+          Token{Token::Kind::kString, content.substr(i + 1, j - i - 1), start_line});
       advance(len);
       continue;
     }

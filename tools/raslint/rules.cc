@@ -13,6 +13,7 @@ constexpr const char* kUnseededRng = "ras-unseeded-rng";
 constexpr const char* kNakedThread = "ras-naked-thread";
 constexpr const char* kFloatMoney = "ras-float-money";
 constexpr const char* kIncludeHygiene = "ras-include-hygiene";
+constexpr const char* kMetricName = "ras-metric-name";
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.compare(0, prefix.size(), prefix) == 0;
@@ -387,6 +388,74 @@ void CheckIncludeHygiene(RuleContext& ctx) {
   }
 }
 
+// --- ras-metric-name ---------------------------------------------------------
+
+// `ras_<subsystem>_<name>`: lowercase [a-z0-9_] with at least three `_`
+// separated nonempty segments, first segment exactly "ras".
+bool IsWellFormedMetricBase(const std::string& base) {
+  if (!StartsWith(base, "ras_")) return false;
+  int segments = 0;
+  size_t seg_len = 0;
+  for (char c : base) {
+    if (c == '_') {
+      if (seg_len == 0) return false;  // Leading/doubled underscore.
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)))) {
+      return false;
+    }
+    ++seg_len;
+  }
+  if (seg_len == 0) return false;  // Trailing underscore.
+  return segments >= 2;            // "ras" + subsystem + name.
+}
+
+void CheckMetricName(RuleContext& ctx) {
+  if (!ctx.RuleEnabled(kMetricName)) return;
+  const std::vector<Token>& toks = ctx.scan().tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdentifier) continue;
+    const std::string& method = toks[i].text;
+    if (method != "counter" && method != "gauge" && method != "histogram") continue;
+    // Member call on a registry: `.counter("..."` / `->counter("..."`.
+    bool member_access = i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    if (!member_access) continue;
+    if (!IsPunct(toks[i + 1], "(") || toks[i + 2].kind != Token::Kind::kString) continue;
+    // Only complete literals: a `"prefix" + dynamic` name can't be validated.
+    if (i + 3 < toks.size() && !IsPunct(toks[i + 3], ",") && !IsPunct(toks[i + 3], ")")) {
+      continue;
+    }
+    const std::string& literal = toks[i + 2].text;
+    const int line = toks[i + 2].line;
+    // Strip an optional `{label="v",...}` suffix; validate the base name.
+    const size_t brace = literal.find('{');
+    const std::string base = brace == std::string::npos ? literal : literal.substr(0, brace);
+    if (brace != std::string::npos && literal.back() != '}') {
+      ctx.Emit(kMetricName, Severity::kError, line,
+               "metric name '" + literal + "' has an unterminated label set");
+      continue;
+    }
+    if (!IsWellFormedMetricBase(base)) {
+      ctx.Emit(kMetricName, Severity::kError, line,
+               "metric name '" + base + "' must match ras_<subsystem>_<name> "
+               "(lowercase [a-z0-9_], e.g. ras_solver_solves_total)");
+      continue;
+    }
+    const bool ends_total = EndsWith(base, "_total");
+    if (method == "counter" && !ends_total) {
+      ctx.Emit(kMetricName, Severity::kError, line,
+               "counter '" + base + "' must end in _total (Prometheus counter convention)");
+    } else if (method != "counter" && ends_total) {
+      ctx.Emit(kMetricName, Severity::kError, line,
+               "non-counter '" + base + "' must not end in _total; reserve the suffix for "
+               "monotonic counters (time histograms end _seconds)");
+    }
+  }
+}
+
 }  // namespace
 
 const char* SeverityName(Severity s) {
@@ -422,6 +491,7 @@ FileLintResult AnalyzeSource(const std::string& path, const std::string& content
   CheckNakedThread(ctx);
   CheckFloatMoney(ctx);
   CheckIncludeHygiene(ctx);
+  CheckMetricName(ctx);
 
   std::stable_sort(out.diagnostics.begin(), out.diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });

@@ -1,6 +1,6 @@
 // raslint rule engine: RAS-specific determinism & concurrency invariants.
 //
-// Six rules, all token-level (see DESIGN.md "Static analysis" for the full
+// Seven rules, all token-level (see DESIGN.md "Static analysis" for the full
 // catalogue and rationale):
 //
 //   ras-unordered-iteration  iteration over std::unordered_map/set in
@@ -19,6 +19,14 @@
 //   ras-include-hygiene      missing/misnamed include guards, non-repo-rooted
 //                            quoted includes, and cross-directory includes
 //                            outside the allowed layering edges.
+//   ras-metric-name          literal metric names passed to the src/obs
+//                            registry (`.counter("...")` / `.gauge(` /
+//                            `.histogram(`) must follow the exposition
+//                            convention: `ras_<subsystem>_<name>` in
+//                            lowercase [a-z0-9_] (an optional `{k="v"}` label
+//                            suffix is stripped first), counters end in
+//                            `_total`, gauges/histograms do not. Dynamic
+//                            (non-literal) names are not checked.
 //
 // Suppression: `// NOLINT(ras-rule)` on the offending line, or
 // `// NOLINTNEXTLINE(ras-rule)` on the line before; bare NOLINT suppresses
@@ -63,19 +71,21 @@ struct LintConfig {
   // also include itself and src/util implicitly.
   std::map<std::string, std::set<std::string>> include_edges = {
       {"src/topology", {}},
-      {"src/solver", {}},
+      {"src/obs", {}},
+      {"src/solver", {"src/obs"}},
       {"src/fleet", {"src/topology"}},
-      {"src/broker", {"src/topology"}},
+      {"src/broker", {"src/obs", "src/topology"}},
       {"src/faults", {"src/core"}},
       {"src/health", {"src/broker", "src/topology"}},
       {"src/twine", {"src/broker", "src/topology"}},
-      {"src/shard", {"src/core", "src/topology"}},
+      {"src/shard", {"src/core", "src/obs", "src/topology"}},
       {"src/core",
-       {"src/broker", "src/faults", "src/fleet", "src/shard", "src/sim", "src/solver",
-        "src/topology", "src/twine"}},
-      {"src/journal", {"src/broker", "src/core", "src/faults", "src/topology"}},
+       {"src/broker", "src/faults", "src/fleet", "src/obs", "src/shard", "src/sim",
+        "src/solver", "src/topology", "src/twine"}},
+      {"src/journal", {"src/broker", "src/core", "src/faults", "src/obs", "src/topology"}},
       {"src/sim",
-       {"src/core", "src/faults", "src/fleet", "src/health", "src/journal", "src/twine"}},
+       {"src/core", "src/faults", "src/fleet", "src/health", "src/journal", "src/obs",
+        "src/twine"}},
   };
 };
 
