@@ -176,7 +176,9 @@ RecoveryReport DurableControlPlane::OpenOrRecover() {
       report.next_generation = wal_->next_generation();
       log << "bootstrap: new durable dir, checkpoint 0 written\n";
       report.log = log.str();
-      AtomicWriteFile(dir_ + "/" + kRecoveryLogFile, report.log);
+      // Best-effort: the recovery log is an operator breadcrumb, and the
+      // bootstrap itself already succeeded; failing it must not fail Open.
+      (void)AtomicWriteFile(dir_ + "/" + kRecoveryLogFile, report.log);
     }
     return report;
   }
@@ -277,7 +279,9 @@ RecoveryReport DurableControlPlane::OpenOrRecover() {
   log << "recovered to generation " << report.next_generation << ", state digest "
       << DigestHex(StateDigest(*broker_, *registry_)) << "\n";
   report.log = log.str();
-  AtomicWriteFile(dir_ + "/" + kRecoveryLogFile, report.log);
+  // Best-effort, as in the bootstrap path: recovery already committed; a
+  // failed breadcrumb write is not a recovery failure.
+  (void)AtomicWriteFile(dir_ + "/" + kRecoveryLogFile, report.log);
   return report;
 }
 
@@ -440,7 +444,9 @@ Status DurableControlPlane::PersistTargets(
   }
   std::string payload = EncodeTargets(targets);
   if (Crashed(CrashPoint::kTornJournalAppend, &crash_status)) {
-    wal_->AppendTorn(RecordKind::kApplyTargets, payload);
+    // Crash injection: the append is *supposed* to be damaged, and the fault
+    // we return is the simulated crash, not the write's own status.
+    (void)wal_->AppendTorn(RecordKind::kApplyTargets, payload);
     return crash_status;
   }
   uint64_t intent_generation = wal_->next_generation();
@@ -461,7 +467,9 @@ Status DurableControlPlane::PersistTargets(
     // leave no abort record. Recovery redoes the full batch from the intent.
     std::vector<std::pair<ServerId, ReservationId>> half(targets.begin(),
                                                          targets.begin() + targets.size() / 2);
-    broker.ApplyTargets(half);
+    // Crash injection: the half-applied batch models a process death, so its
+    // status is intentionally unobserved — recovery redoes the full intent.
+    (void)broker.ApplyTargets(half);
     suppress_deltas_ = false;
     return crash_status;
   }

@@ -27,7 +27,9 @@ size_t StripeStride(size_t buckets) {
 }
 
 [[noreturn]] void DieKindMismatch(const std::string& name, const char* requested) {
-  std::fprintf(stderr,
+  // The write to stderr is the last thing this process does before abort();
+  // "blocking on a hot path" is moot when the path ends here.
+  std::fprintf(stderr,  // NOLINT(ras-blocking-in-hot-path)
                "MetricRegistry: metric '%s' already registered with a different kind/shape "
                "(requested %s); call sites must agree\n",
                name.c_str(), requested);
@@ -49,6 +51,7 @@ Histogram::Histogram(std::string name, std::string help, double lo, double hi, s
   width_ = (hi - lo) / static_cast<double>(buckets);
 }
 
+// RASLINT-HOT: record path — called from solver inner loops.
 void Histogram::Observe(double x) {
   if (!enabled_->load(std::memory_order_relaxed)) {
     return;
@@ -123,7 +126,9 @@ Counter& MetricRegistry::counter(const std::string& name, const std::string& hel
     entry.counter.reset(new Counter(name, help, &enabled_));
     it = metrics_.emplace(name, std::move(entry)).first;
   } else if (it->second.kind != Kind::kCounter) {
-    DieKindMismatch(name, "counter");
+    // [[noreturn]] abort path — blocking on stderr while holding mu_ is fine
+    // when the next instruction is std::abort().
+    DieKindMismatch(name, "counter");  // NOLINT(ras-blocking-in-hot-path)
   }
   return *it->second.counter;
 }
@@ -137,7 +142,8 @@ Gauge& MetricRegistry::gauge(const std::string& name, const std::string& help) {
     entry.gauge.reset(new Gauge(name, help, &enabled_));
     it = metrics_.emplace(name, std::move(entry)).first;
   } else if (it->second.kind != Kind::kGauge) {
-    DieKindMismatch(name, "gauge");
+    // [[noreturn]] abort path, as above.
+    DieKindMismatch(name, "gauge");  // NOLINT(ras-blocking-in-hot-path)
   }
   return *it->second.gauge;
 }
@@ -153,7 +159,8 @@ Histogram& MetricRegistry::histogram(const std::string& name, const std::string&
     it = metrics_.emplace(name, std::move(entry)).first;
   } else if (it->second.kind != Kind::kHistogram || it->second.histogram->lo() != lo ||
              it->second.histogram->hi() != hi || it->second.histogram->bucket_count() != buckets) {
-    DieKindMismatch(name, "histogram");
+    // [[noreturn]] abort path, as above.
+    DieKindMismatch(name, "histogram");  // NOLINT(ras-blocking-in-hot-path)
   }
   return *it->second.histogram;
 }

@@ -65,6 +65,7 @@ class MetricRegistry;
 // Monotonic event counter.
 class Counter {
  public:
+  // RASLINT-HOT: record path — called from solver inner loops.
   void Add(int64_t n = 1) {
     if (!enabled_->load(std::memory_order_relaxed)) {
       return;
@@ -101,6 +102,7 @@ class Counter {
 // written from one site at a time in practice.
 class Gauge {
  public:
+  // RASLINT-HOT: record path — called from solver inner loops.
   void Set(double v) {
     if (!enabled_->load(std::memory_order_relaxed)) {
       return;

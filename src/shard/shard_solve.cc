@@ -104,6 +104,7 @@ SolveInput MakeShardInput(const SolveInput& region, const ShardPlan& plan,
   return input;
 }
 
+// RASLINT-HOT: shard worker bodies run inside this fan-out.
 ShardSolveOutcome SolveShards(const SolveInput& input, const ShardPlan& plan,
                               const ShardDemand& demand, const ShardSolveFn& solve_shard,
                               const ShardSolveOptions& options) {

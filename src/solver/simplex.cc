@@ -425,6 +425,7 @@ bool SimplexSolver::ImportBasis(const Model& model, const SimplexBasis& basis) {
   return true;
 }
 
+// RASLINT-HOT: the simplex inner iteration — nothing here may block.
 LpResult SimplexSolver::RunSimplex(const Model& model) {
   LpResult result;
   const double ftol = options_.feasibility_tol;

@@ -1,0 +1,359 @@
+#include "tools/raslint/ast.h"
+
+#include <set>
+
+namespace ras {
+namespace raslint {
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == Token::Kind::kIdentifier; }
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdentifier && t.text == text;
+}
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kSet = {"if",    "for",   "while", "switch",
+                                             "catch", "constexpr"};
+  return kSet;
+}
+
+// Statement keywords that can never be a callee / declared name.
+const std::set<std::string>& StmtKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",     "for",    "while",  "switch", "return", "case",   "goto",
+      "else",   "do",     "new",    "delete", "throw",  "sizeof", "alignof",
+      "co_return", "co_await", "co_yield"};
+  return kSet;
+}
+
+// Finds the index of the opener matching the closer at `close`, scanning
+// backward; -1 if unbalanced or out of the walk budget.
+int BackwardMatch(const std::vector<Token>& toks, int close, const char* open_text,
+                  const char* close_text) {
+  int depth = 0;
+  for (int k = close; k >= 0 && close - k < 4096; --k) {
+    if (IsPunct(toks[k], close_text)) ++depth;
+    if (IsPunct(toks[k], open_text)) {
+      if (--depth == 0) return k;
+    }
+  }
+  return -1;
+}
+
+// Splits an annotation argument list (tokens in (open, close)) on top-level
+// commas, joining each argument's tokens.
+std::vector<std::string> AnnotationArgs(const std::vector<Token>& toks, int open, int close) {
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 0;
+  for (int k = open + 1; k < close; ++k) {
+    if (IsPunct(toks[k], "(") || IsPunct(toks[k], "<")) ++depth;
+    if (IsPunct(toks[k], ")") || IsPunct(toks[k], ">")) --depth;
+    if (depth == 0 && IsPunct(toks[k], ",")) {
+      if (!cur.empty()) args.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += toks[k].text;
+  }
+  if (!cur.empty()) args.push_back(cur);
+  return args;
+}
+
+// What the bounded backward walk from a `{` (or `;`) concluded.
+struct HeaderInfo {
+  Scope::Kind kind = Scope::Kind::kGeneric;
+  std::string class_name;                   // kClass.
+  int name_tok = -1;                        // kFunction: the name identifier.
+  bool trailing_status = false;             // `-> Status` / `-> Result<...>`.
+  std::vector<std::string> requires_locks;  // REQUIRES(...) args seen.
+};
+
+// Classifies the construct whose `{` (for bodies) or `;` (for declarations)
+// sits at token index `end` by walking backward over the header tokens.
+// Bounded: gives up (kGeneric) after `kBudget` steps.
+HeaderInfo ClassifyHeader(const std::vector<Token>& toks, int end) {
+  constexpr int kBudget = 512;
+  HeaderInfo info;
+  int k = end - 1;
+  int steps = 0;
+  while (k >= 0 && ++steps < kBudget) {
+    const Token& t = toks[k];
+    if (t.kind == Token::Kind::kPunct) {
+      const std::string& p = t.text;
+      if (p == ";" || p == "{" || p == "=" || p == "(" || p == "[") return info;
+      if (p == ")") {
+        int m = BackwardMatch(toks, k, "(", ")");
+        if (m <= 0) return info;
+        const Token& prev = toks[m - 1];
+        if (IsPunct(prev, "]")) {
+          info.kind = Scope::Kind::kLambda;
+          return info;
+        }
+        if (!IsIdent(prev)) return info;
+        if (ControlKeywords().count(prev.text)) return info;
+        if (prev.text == "noexcept") {
+          k = m - 2;
+          continue;
+        }
+        if (IsThreadAnnotation(prev.text)) {
+          if (prev.text == "REQUIRES" || prev.text == "REQUIRES_SHARED") {
+            for (std::string& a : AnnotationArgs(toks, m, k)) {
+              info.requires_locks.push_back(std::move(a));
+            }
+          }
+          k = m - 2;
+          continue;
+        }
+        // Ctor-init-list member `a_(...)`: skip past it.
+        if (m - 2 >= 0 && (IsPunct(toks[m - 2], ":") || IsPunct(toks[m - 2], ","))) {
+          k = m - 2;
+          continue;
+        }
+        if (StmtKeywords().count(prev.text)) return info;
+        info.kind = Scope::Kind::kFunction;
+        info.name_tok = m - 1;
+        return info;
+      }
+      if (p == "}") {
+        // Brace-init ctor-list member `a_{...}`: skip; anything else is a
+        // statement boundary.
+        int m = BackwardMatch(toks, k, "{", "}");
+        if (m > 1 && IsIdent(toks[m - 1]) &&
+            (IsPunct(toks[m - 2], ":") || IsPunct(toks[m - 2], ","))) {
+          k = m - 2;
+          continue;
+        }
+        return info;
+      }
+      if (p == "]") {
+        info.kind = Scope::Kind::kLambda;
+        return info;
+      }
+      if (p == ">") {
+        // Trailing return `-> Result<T>`: unwind the template args.
+        int m = BackwardMatch(toks, k, "<", ">");
+        if (m > 0 && IsIdent(toks[m - 1])) {
+          if (toks[m - 1].text == "Result") info.trailing_status = true;
+          k = m - 1;
+          continue;
+        }
+        return info;
+      }
+      if (p == ":" || p == ",") {
+        --k;
+        continue;
+      }
+      if (p == "->" || p == "::" || p == "*" || p == "&") {
+        --k;
+        continue;
+      }
+      return info;
+    }
+    if (IsIdent(t)) {
+      const std::string& w = t.text;
+      if (w == "const" || w == "override" || w == "final" || w == "mutable" ||
+          w == "noexcept" || w == "try" || w == "inline") {
+        --k;
+        continue;
+      }
+      if (w == "else" || w == "do" || w == "return") return info;
+      if (w == "namespace") {
+        info.kind = Scope::Kind::kNamespace;
+        return info;
+      }
+      if (k >= 1 && IsIdent(toks[k - 1])) {
+        const std::string& prev = toks[k - 1].text;
+        if (prev == "namespace") {
+          info.kind = Scope::Kind::kNamespace;
+          return info;
+        }
+        if (prev == "class" || prev == "struct" || prev == "union") {
+          info.kind = Scope::Kind::kClass;
+          info.class_name = w;
+          return info;
+        }
+        // Base-class clause: `class Foo : public Bar {`.
+        if (prev == "public" || prev == "protected" || prev == "private" ||
+            prev == "virtual") {
+          k -= 2;
+          continue;
+        }
+      }
+      if (w == "class" || w == "struct" || w == "union" || w == "enum") {
+        info.kind = Scope::Kind::kClass;  // Anonymous aggregate.
+        return info;
+      }
+      // `class CAPABILITY("mutex") Mutex {`: the macro call sits between the
+      // keyword and the name.
+      if (k >= 1 && IsPunct(toks[k - 1], ")")) {
+        int m = BackwardMatch(toks, k - 1, "(", ")");
+        if (m >= 2 && IsIdent(toks[m - 1]) && IsThreadAnnotation(toks[m - 1].text) &&
+            (IsIdent(toks[m - 2], "class") || IsIdent(toks[m - 2], "struct"))) {
+          info.kind = Scope::Kind::kClass;
+          info.class_name = w;
+          return info;
+        }
+        return info;
+      }
+      if (k >= 1 && (IsPunct(toks[k - 1], "::") || IsPunct(toks[k - 1], "->"))) {
+        k -= 2;  // Qualified-name part / trailing return type.
+        if (k + 1 < static_cast<int>(toks.size()) && IsPunct(toks[k + 1], "->") &&
+            (w == "Status" || w == "Result")) {
+          info.trailing_status = true;
+        }
+        continue;
+      }
+      return info;
+    }
+    return info;
+  }
+  return info;
+}
+
+// True if the token at `idx` (the start of a callee/declarator name chain)
+// is preceded by a plausible return type, i.e. this is a declaration rather
+// than a call.
+bool PrecededByType(const std::vector<Token>& toks, int idx) {
+  if (idx <= 0) return false;
+  const Token& t = toks[idx - 1];
+  if (IsIdent(t)) {
+    if (StmtKeywords().count(t.text)) return false;
+    if (idx >= 2 && (IsPunct(toks[idx - 2], ".") || IsPunct(toks[idx - 2], "->"))) {
+      return false;  // Member expression, not a type.
+    }
+    return true;
+  }
+  return IsPunct(t, ">") || IsPunct(t, "*") || IsPunct(t, "&");
+}
+
+}  // namespace
+
+bool IsThreadAnnotation(const std::string& ident) {
+  static const std::set<std::string> kSet = {
+      "GUARDED_BY",      "PT_GUARDED_BY",    "REQUIRES",
+      "REQUIRES_SHARED", "ACQUIRE",          "ACQUIRE_SHARED",
+      "RELEASE",         "RELEASE_SHARED",   "TRY_ACQUIRE",
+      "EXCLUDES",        "ASSERT_CAPABILITY", "RETURN_CAPABILITY",
+      "CAPABILITY",      "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS"};
+  return kSet.count(ident) > 0;
+}
+
+AstFile BuildAst(const FileScan& scan) {
+  const std::vector<Token>& toks = scan.tokens;
+  AstFile ast;
+  std::vector<int> stack;  // Open scope indices.
+
+  // Builds a FunctionSig from a classified header; `body_open` is -1 for
+  // declarations.
+  auto make_function = [&](const HeaderInfo& info, int body_open) -> FunctionSig {
+    FunctionSig sig;
+    int name_tok = info.name_tok;
+    sig.name = toks[name_tok].text;
+    if (name_tok >= 1 && IsPunct(toks[name_tok - 1], "~")) {
+      sig.name = "~" + sig.name;
+      --name_tok;  // Chain unwinding continues from the '~'.
+    }
+    // Unwind an explicit `Ns::Class::` qualifier chain.
+    std::vector<std::string> quals;
+    int k = name_tok;
+    while (k >= 2 && IsPunct(toks[k - 1], "::") && IsIdent(toks[k - 2])) {
+      quals.push_back(toks[k - 2].text);
+      k -= 2;
+    }
+    if (!quals.empty()) {
+      sig.class_name = quals.front();  // Innermost qualifier.
+    } else {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (ast.scopes[*it].kind == Scope::Kind::kClass) {
+          sig.class_name = ast.scopes[*it].name;
+          break;
+        }
+      }
+    }
+    sig.qualified = sig.class_name.empty() ? sig.name : sig.class_name + "::" + sig.name;
+    sig.line = toks[info.name_tok].line;
+    sig.requires_locks = info.requires_locks;
+    sig.body_open = body_open;
+    sig.is_definition = body_open >= 0;
+    sig.hot = scan.hot_lines.count(sig.line) > 0 || scan.hot_lines.count(sig.line - 1) > 0;
+    // Return type: the token just left of the name chain (Status), or a
+    // closing template `Result<...>`, or a trailing `-> Status`.
+    sig.returns_status = info.trailing_status;
+    if (k >= 1) {
+      const Token& rt = toks[k - 1];
+      if (IsIdent(rt, "Status")) sig.returns_status = true;
+      if (IsPunct(rt, ">")) {
+        int m = BackwardMatch(toks, k - 1, "<", ">");
+        if (m > 0 && IsIdent(toks[m - 1], "Result")) sig.returns_status = true;
+      }
+    }
+    return sig;
+  };
+
+  for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "{")) {
+      HeaderInfo info = ClassifyHeader(toks, i);
+      Scope scope;
+      scope.kind = info.kind;
+      scope.open_tok = i;
+      scope.parent = stack.empty() ? -1 : stack.back();
+      scope.name = info.class_name;
+      if (info.kind == Scope::Kind::kFunction) {
+        FunctionSig sig = make_function(info, i);
+        sig.body_scope = static_cast<int>(ast.scopes.size());
+        scope.function = static_cast<int>(ast.functions.size());
+        ast.functions.push_back(std::move(sig));
+      }
+      stack.push_back(static_cast<int>(ast.scopes.size()));
+      ast.scopes.push_back(std::move(scope));
+      continue;
+    }
+    if (IsPunct(t, "}")) {
+      if (!stack.empty()) {
+        Scope& s = ast.scopes[stack.back()];
+        s.close_tok = i;
+        if (s.function >= 0) ast.functions[s.function].body_close = i;
+        stack.pop_back();
+      }
+      continue;
+    }
+    if (IsPunct(t, ";")) {
+      // Declaration harvest: `RetType Name(...) QUALIFIERS ;` — headers feed
+      // REQUIRES lists and Status return types for out-of-file definitions.
+      int end = i;
+      // `= 0` / `= default` / `= delete` before the ';'.
+      if (end >= 2 && IsPunct(toks[end - 2], "=")) end -= 2;
+      if (end - 1 < 0 || !IsPunct(toks[end - 1], ")")) {
+        // Walk back over trailing annotation macros to find a ')' param list.
+        int j = end - 1;
+        while (j > 0 && IsPunct(toks[j], ")")) {
+          int m = BackwardMatch(toks, j, "(", ")");
+          if (m <= 0 || !IsIdent(toks[m - 1]) || !IsThreadAnnotation(toks[m - 1].text)) break;
+          j = m - 2;
+        }
+        if (j < 0 || !IsPunct(toks[j], ")")) continue;
+      }
+      HeaderInfo info = ClassifyHeader(toks, i);
+      if (info.kind != Scope::Kind::kFunction || info.name_tok < 0) continue;
+      // Distinguish a declaration from a call statement: a declaration has a
+      // return type before its name chain.
+      int chain_start = info.name_tok;
+      while (chain_start >= 2 && IsPunct(toks[chain_start - 1], "::") &&
+             IsIdent(toks[chain_start - 2])) {
+        chain_start -= 2;
+      }
+      if (chain_start >= 1 && IsPunct(toks[chain_start - 1], "~")) --chain_start;
+      if (!PrecededByType(toks, chain_start)) continue;
+      ast.functions.push_back(make_function(info, -1));
+    }
+  }
+  return ast;
+}
+
+}  // namespace raslint
+}  // namespace ras

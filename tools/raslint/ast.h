@@ -1,0 +1,73 @@
+// raslint's scope layer: balanced-brace scope trees and function signatures,
+// recovered from the token stream without a real parser.
+//
+// Every `{` opens a Scope classified by a bounded backward walk over the
+// tokens that precede it: function bodies (identifier + balanced parameter
+// list + qualifiers/annotations/ctor-init-list), lambdas (`](...)`), classes
+// and namespaces, and everything else as generic blocks. Function signatures
+// capture what the semantic rules need:
+//
+//   - the bare and Class::qualified name (explicit `Foo::Bar` qualifiers or
+//     the enclosing class scope),
+//   - whether the return type is Status / Result<T> (ras-status-discard),
+//   - REQUIRES(...) lock lists from thread-safety annotations,
+//   - hot-path markers: a `// RASLINT-HOT` comment on the signature line or
+//     the line above makes the function a root for ras-blocking-in-hot-path,
+//   - the body's token range, so symbols.cc can walk it.
+//
+// Declarations (`...);`) are also harvested — headers contribute REQUIRES
+// lists and Status return types for functions defined elsewhere.
+//
+// Misclassification degrades softly: an unrecognized construct becomes a
+// generic scope and the rules see less, never something wrong.
+
+#ifndef RAS_TOOLS_RASLINT_AST_H_
+#define RAS_TOOLS_RASLINT_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/raslint/lexer.h"
+
+namespace ras {
+namespace raslint {
+
+struct Scope {
+  enum class Kind { kGeneric, kNamespace, kClass, kFunction, kLambda };
+  Kind kind = Kind::kGeneric;
+  int open_tok = -1;   // Index of the '{' token.
+  int close_tok = -1;  // Index of the matching '}', or -1 if unterminated.
+  int parent = -1;     // Index into AstFile::scopes, -1 for top level.
+  std::string name;    // Class name for kClass scopes (may be empty).
+  int function = -1;   // Index into AstFile::functions for kFunction scopes.
+};
+
+struct FunctionSig {
+  std::string name;        // Bare name ("Solve", "~ThreadPool").
+  std::string qualified;   // "Class::Solve" when a class is known, else name.
+  std::string class_name;  // Empty for free functions.
+  int line = 0;            // Line of the name token.
+  bool returns_status = false;  // Return type is Status or Result<T>.
+  bool is_definition = false;   // Has a body in this file.
+  bool hot = false;             // RASLINT-HOT marker on/above the signature.
+  std::vector<std::string> requires_locks;  // REQUIRES(...) argument texts.
+  int body_open = -1;   // Token index of the body '{' (-1 for declarations).
+  int body_close = -1;  // Token index of the body '}' (-1 if unterminated).
+  int body_scope = -1;  // Index into AstFile::scopes.
+};
+
+struct AstFile {
+  std::vector<Scope> scopes;        // In open-token order.
+  std::vector<FunctionSig> functions;  // Definitions and declarations.
+};
+
+AstFile BuildAst(const FileScan& scan);
+
+// True for the thread-safety annotation macro names from
+// src/util/thread_annotations.h (REQUIRES, GUARDED_BY, CAPABILITY, ...).
+bool IsThreadAnnotation(const std::string& ident);
+
+}  // namespace raslint
+}  // namespace ras
+
+#endif  // RAS_TOOLS_RASLINT_AST_H_

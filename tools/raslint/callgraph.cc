@@ -1,0 +1,310 @@
+#include "tools/raslint/callgraph.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ras {
+namespace raslint {
+namespace {
+
+// Kosaraju SCC over an integer adjacency list. Returns component ids.
+std::vector<int> StronglyConnected(int n, const std::vector<std::vector<int>>& adj) {
+  std::vector<std::vector<int>> radj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : adj[u]) radj[v].push_back(u);
+  }
+  std::vector<int> order;
+  std::vector<char> seen(n, 0);
+  for (int s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    // Iterative DFS, post-order.
+    std::vector<std::pair<int, size_t>> stack{{s, 0}};
+    seen[s] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj[u].size()) {
+        int v = adj[u][next++];
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.push_back({v, 0});
+        }
+      } else {
+        order.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> comp(n, -1);
+  int c = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (comp[*it] >= 0) continue;
+    std::vector<int> stack{*it};
+    comp[*it] = c;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (int v : radj[u]) {
+        if (comp[v] < 0) {
+          comp[v] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++c;
+  }
+  return comp;
+}
+
+std::string JoinLocks(const std::vector<std::string>& locks) {
+  std::string out;
+  for (const std::string& l : locks) {
+    if (!out.empty()) out += ", ";
+    out += l;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Project::AddFile(const FileScan& scan, const FileSemantics& sem) {
+  const int file = static_cast<int>(files_.size());
+  files_.push_back(FileInfo{scan.path, scan.nolint});
+  for (const FunctionSem& f : sem.functions) {
+    const int idx = static_cast<int>(fns_.size());
+    fns_.push_back(Fn{f, file});
+    by_qualified_[f.sig.qualified].push_back(idx);
+    by_bare_[f.sig.name].push_back(idx);
+    status_by_qualified_[f.sig.qualified].insert(f.sig.returns_status);
+    status_by_bare_[f.sig.name].insert(f.sig.returns_status);
+  }
+  for (const FunctionSig& d : sem.declarations) {
+    status_by_qualified_[d.qualified].insert(d.returns_status);
+    status_by_bare_[d.name].insert(d.returns_status);
+  }
+}
+
+int Project::Resolve(const Fn& caller, const CallSite& call) const {
+  if (!call.qualifier.empty() && call.qualifier != "std") {
+    auto it = by_qualified_.find(call.qualifier + "::" + call.callee);
+    if (it != by_qualified_.end() && it->second.size() == 1) return it->second[0];
+  }
+  if (!caller.sem.sig.class_name.empty()) {
+    auto it = by_qualified_.find(caller.sem.sig.class_name + "::" + call.callee);
+    if (it != by_qualified_.end() && it->second.size() == 1) return it->second[0];
+  }
+  auto it = by_bare_.find(call.callee);
+  if (it != by_bare_.end() && it->second.size() == 1) return it->second[0];
+  return -1;
+}
+
+bool Project::ReturnsStatus(const Fn& caller, const CallSite& call) const {
+  auto agree = [](const std::map<std::string, std::set<bool>>& m,
+                  const std::string& key, bool* result) {
+    auto it = m.find(key);
+    if (it == m.end() || it->second.size() != 1) return false;
+    *result = *it->second.begin();
+    return true;
+  };
+  bool status = false;
+  if (!call.qualifier.empty() && call.qualifier != "std" &&
+      agree(status_by_qualified_, call.qualifier + "::" + call.callee, &status)) {
+    return status;
+  }
+  if (!caller.sem.sig.class_name.empty() &&
+      agree(status_by_qualified_, caller.sem.sig.class_name + "::" + call.callee,
+            &status)) {
+    return status;
+  }
+  if (agree(status_by_bare_, call.callee, &status)) return status;
+  return false;
+}
+
+void Project::Finalize(const LintConfig& config, std::vector<Diagnostic>* out,
+                       int* suppressed) const {
+  auto enabled = [&](const char* rule) {
+    return config.enabled_rules.empty() || config.enabled_rules.count(rule) > 0;
+  };
+  std::set<std::tuple<std::string, std::string, int>> emitted;
+  auto emit = [&](const char* rule, int file, int line, std::string message) {
+    if (!emitted.insert({rule, files_[file].path, line}).second) return;
+    auto it = files_[file].nolint.find(line);
+    if (it != files_[file].nolint.end() &&
+        (it->second.count("*") > 0 || it->second.count(rule) > 0)) {
+      ++*suppressed;
+      return;
+    }
+    out->push_back(
+        Diagnostic{rule, Severity::kError, files_[file].path, line, std::move(message)});
+  };
+
+  const int n = static_cast<int>(fns_.size());
+
+  // Resolved call targets, computed once.
+  std::vector<std::vector<int>> callee(n);
+  for (int f = 0; f < n; ++f) {
+    callee[f].reserve(fns_[f].sem.calls.size());
+    for (const CallSite& c : fns_[f].sem.calls) {
+      callee[f].push_back(Resolve(fns_[f], c));
+    }
+  }
+
+  // --- ras-lock-order --------------------------------------------------------
+  if (enabled(kRuleLockOrder)) {
+    // Acquired-lock closure per function (locks taken here or in callees).
+    std::vector<std::set<std::string>> acq(n);
+    for (int f = 0; f < n; ++f) {
+      for (const AcquireSite& a : fns_[f].sem.acquires) acq[f].insert(a.lock);
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int f = 0; f < n; ++f) {
+        for (int r : callee[f]) {
+          if (r < 0) continue;
+          for (const std::string& l : acq[r]) {
+            if (acq[f].insert(l).second) changed = true;
+          }
+        }
+      }
+    }
+
+    struct EdgeSites {
+      std::vector<std::pair<int, int>> sites;  // (file, line)
+    };
+    std::map<std::pair<std::string, std::string>, EdgeSites> edges;
+    for (int f = 0; f < n; ++f) {
+      for (const AcquireSite& a : fns_[f].sem.acquires) {
+        for (const std::string& h : a.held_before) {
+          if (h == a.lock) continue;
+          edges[{h, a.lock}].sites.push_back({fns_[f].file, a.line});
+        }
+      }
+      for (size_t ci = 0; ci < fns_[f].sem.calls.size(); ++ci) {
+        const CallSite& c = fns_[f].sem.calls[ci];
+        int r = callee[f][ci];
+        if (r < 0 || c.held.empty()) continue;
+        for (const std::string& l : acq[r]) {
+          for (const std::string& h : c.held) {
+            if (h == l) continue;
+            edges[{h, l}].sites.push_back({fns_[f].file, c.line});
+          }
+        }
+      }
+    }
+
+    std::map<std::string, int> lock_id;
+    for (const auto& [edge, sites] : edges) {
+      lock_id.emplace(edge.first, static_cast<int>(lock_id.size()));
+      lock_id.emplace(edge.second, static_cast<int>(lock_id.size()));
+    }
+    std::vector<std::vector<int>> adj(lock_id.size());
+    for (const auto& [edge, sites] : edges) {
+      adj[lock_id[edge.first]].push_back(lock_id[edge.second]);
+    }
+    std::vector<int> comp = StronglyConnected(static_cast<int>(lock_id.size()), adj);
+    for (const auto& [edge, sites] : edges) {
+      const bool self_cycle = edge.first == edge.second;
+      if (!self_cycle && comp[lock_id.at(edge.first)] != comp[lock_id.at(edge.second)]) {
+        continue;
+      }
+      for (const auto& [file, line] : sites.sites) {
+        emit(kRuleLockOrder, file, line,
+             self_cycle
+                 ? "lock '" + edge.first + "' acquired while already held (self-deadlock)"
+                 : "lock-order inversion: '" + edge.second + "' acquired while holding '" +
+                       edge.first +
+                       "', but the reverse order also occurs (acquisition-order cycle; "
+                       "pick one global order)");
+      }
+    }
+  }
+
+  // --- ras-blocking-in-hot-path ----------------------------------------------
+  if (enabled(kRuleBlockingHotPath)) {
+    std::vector<char> blocks(n, 0);
+    std::vector<std::string> witness(n);
+    for (int f = 0; f < n; ++f) {
+      if (!fns_[f].sem.sinks.empty()) {
+        blocks[f] = 1;
+        witness[f] = fns_[f].sem.sinks.front().what;
+      }
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int f = 0; f < n; ++f) {
+        if (blocks[f]) continue;
+        for (int r : callee[f]) {
+          if (r >= 0 && blocks[r]) {
+            blocks[f] = 1;
+            witness[f] = fns_[r].sem.sig.qualified + " -> " + witness[r];
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Hot closure: BFS from RASLINT-HOT roots (plus configured extras).
+    std::vector<std::string> hot_root(n);
+    std::vector<int> queue;
+    for (int f = 0; f < n; ++f) {
+      const FunctionSig& sig = fns_[f].sem.sig;
+      bool is_root = sig.hot;
+      for (const std::string& name : config.hot_root_functions) {
+        if (name == sig.qualified || name == sig.name) is_root = true;
+      }
+      if (is_root) {
+        hot_root[f] = sig.qualified;
+        queue.push_back(f);
+      }
+    }
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      int f = queue[qi];
+      for (int r : callee[f]) {
+        if (r >= 0 && hot_root[r].empty()) {
+          hot_root[r] = hot_root[f];
+          queue.push_back(r);
+        }
+      }
+    }
+
+    for (int f = 0; f < n; ++f) {
+      for (const SinkSite& s : fns_[f].sem.sinks) {
+        if (!hot_root[f].empty()) {
+          emit(kRuleBlockingHotPath, fns_[f].file, s.line,
+               "blocking call '" + s.what + "' on a hot path (reachable from hot root '" +
+                   hot_root[f] + "'); hoist the IO out of the hot loop");
+        }
+        if (!s.held.empty()) {
+          emit(kRuleBlockingHotPath, fns_[f].file, s.line,
+               "blocking call '" + s.what + "' while holding lock(s) " +
+                   JoinLocks(s.held) + "; release the lock before doing IO");
+        }
+      }
+      for (size_t ci = 0; ci < fns_[f].sem.calls.size(); ++ci) {
+        const CallSite& c = fns_[f].sem.calls[ci];
+        int r = callee[f][ci];
+        if (r < 0 || c.held.empty() || !blocks[r]) continue;
+        emit(kRuleBlockingHotPath, fns_[f].file, c.line,
+             "call to '" + fns_[r].sem.sig.qualified + "' while holding lock(s) " +
+                 JoinLocks(c.held) + " reaches blocking '" + witness[r] + "'");
+      }
+    }
+  }
+
+  // --- ras-status-discard ----------------------------------------------------
+  if (enabled(kRuleStatusDiscard)) {
+    for (int f = 0; f < n; ++f) {
+      for (const CallSite& c : fns_[f].sem.calls) {
+        if (!c.discarded) continue;
+        if (!ReturnsStatus(fns_[f], c)) continue;
+        emit(kRuleStatusDiscard, fns_[f].file, c.line,
+             "result of '" + c.callee +
+                 "' (Status/Result) is silently discarded; handle it, or cast to (void) "
+                 "with a comment saying why failure is acceptable");
+      }
+    }
+  }
+}
+
+}  // namespace raslint
+}  // namespace ras

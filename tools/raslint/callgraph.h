@@ -1,0 +1,74 @@
+// raslint's project layer: a cross-TU call graph over every scanned file and
+// the three flow-aware rules that need it.
+//
+//   ras-lock-order          Directed graph of canonical lock names with an
+//                           edge A -> B for every site that acquires B while
+//                           holding A — directly, or by calling a function
+//                           whose acquired-lock closure contains B. Any edge
+//                           inside a strongly connected component is a
+//                           potential deadlock and is reported at its site.
+//   ras-blocking-in-hot-path  Blocks(F) fixpoint: F blocks if it contains a
+//                           blocking sink or calls a function that blocks.
+//                           Reported at every sink reachable from a
+//                           RASLINT-HOT root and at every sink or
+//                           blocking-call site inside a held-lock region.
+//   ras-status-discard      Statement-position call whose result is dropped,
+//                           resolving (cross-TU) to a Status/Result-returning
+//                           function. `(void)` casts and `return` are uses.
+//
+// Call resolution is name-based: explicit `Class::f` qualifiers first, then
+// the caller's own class, then a bare name when it is unambiguous across the
+// project (for ras-status-discard, also when every candidate agrees on the
+// return type). Unresolved calls contribute nothing — the analysis
+// under-approximates rather than guessing.
+
+#ifndef RAS_TOOLS_RASLINT_CALLGRAPH_H_
+#define RAS_TOOLS_RASLINT_CALLGRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/raslint/rules.h"
+#include "tools/raslint/symbols.h"
+
+namespace ras {
+namespace raslint {
+
+class Project {
+ public:
+  // Order matters only for deterministic output: add files in sorted order.
+  void AddFile(const FileScan& scan, const FileSemantics& sem);
+
+  // Runs the three project rules. Appends NOLINT-filtered diagnostics to
+  // `out` (caller sorts/merges) and bumps `suppressed` for filtered ones.
+  void Finalize(const LintConfig& config, std::vector<Diagnostic>* out,
+                int* suppressed) const;
+
+ private:
+  struct FileInfo {
+    std::string path;
+    std::map<int, std::set<std::string>> nolint;
+  };
+  struct Fn {
+    FunctionSem sem;
+    int file;
+  };
+
+  int Resolve(const Fn& caller, const CallSite& call) const;
+  bool ReturnsStatus(const Fn& caller, const CallSite& call) const;
+
+  std::vector<FileInfo> files_;
+  std::vector<Fn> fns_;  // Definitions, in file order.
+  std::map<std::string, std::vector<int>> by_qualified_;
+  std::map<std::string, std::vector<int>> by_bare_;
+  // Return-type votes from definitions AND declarations.
+  std::map<std::string, std::set<bool>> status_by_qualified_;
+  std::map<std::string, std::set<bool>> status_by_bare_;
+};
+
+}  // namespace raslint
+}  // namespace ras
+
+#endif  // RAS_TOOLS_RASLINT_CALLGRAPH_H_

@@ -4,6 +4,11 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include "src/util/monotonic_time.h"
+#include "src/util/thread_pool.h"
+#include "tools/raslint/callgraph.h"
 
 namespace ras {
 namespace raslint {
@@ -34,6 +39,42 @@ bool ReadFile(const fs::path& p, std::string* out) {
   ss << in.rdbuf();
   *out = ss.str();
   return true;
+}
+
+// One file's outcome; written by exactly one worker, merged in file order.
+struct Slot {
+  bool ok = false;
+  FileAnalysis analysis;
+};
+
+void SortDiagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  });
+}
+
+// Merges per-file slots into a summary and runs the cross-TU Project pass.
+RunSummary MergeSlots(const std::vector<std::string>& files, std::vector<Slot>& slots,
+                      const LintConfig& config) {
+  RunSummary summary;
+  Project project;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (!slots[i].ok) {
+      summary.diagnostics.push_back(
+          Diagnostic{"ras-driver", Severity::kError, files[i], 0, "cannot read file"});
+      continue;
+    }
+    ++summary.files_scanned;
+    FileLintResult& result = slots[i].analysis.result;
+    summary.suppressed += result.suppressed;
+    summary.diagnostics.insert(summary.diagnostics.end(), result.diagnostics.begin(),
+                               result.diagnostics.end());
+    project.AddFile(slots[i].analysis.scan, slots[i].analysis.semantics);
+  }
+  project.Finalize(config, &summary.diagnostics, &summary.suppressed);
+  SortDiagnostics(summary.diagnostics);
+  return summary;
 }
 
 }  // namespace
@@ -70,36 +111,70 @@ std::vector<std::string> CollectFiles(const std::string& root,
 
 RunSummary LintFiles(const std::string& root, const std::vector<std::string>& files,
                      const LintConfig& config) {
+  const double start = util::MonotonicSeconds();
   const fs::path root_path(root);
-  RunSummary summary;
-  for (const std::string& file : files) {
-    std::string content;
-    if (!ReadFile(root_path / file, &content)) {
-      summary.diagnostics.push_back(Diagnostic{"ras-driver", Severity::kError, file, 0,
-                                               "cannot read file"});
-      continue;
-    }
-    ++summary.files_scanned;
+  std::vector<Slot> slots(files.size());
 
-    // A .cc sees its same-stem header's members (e.g. iterating a container
-    // the header declares unordered).
+  auto lint_one = [&](size_t i) {
+    std::string content;
+    if (!ReadFile(root_path / files[i], &content)) return;
+
+    // A .cc sees its same-stem header's members (unordered containers,
+    // GUARDED_BY fields, REQUIRES declarations).
     std::string companion;
-    fs::path p = root_path / file;
+    fs::path p = root_path / files[i];
     if (p.extension() == ".cc" || p.extension() == ".cpp") {
       fs::path header = p;
       header.replace_extension(".h");
       std::error_code ec;
-      if (fs::exists(header, ec)) {
-        ReadFile(header, &companion);
+      if (fs::exists(header, ec)) ReadFile(header, &companion);
+    }
+    slots[i].analysis = AnalyzeFile(files[i], content, companion, config);
+    slots[i].ok = true;
+  };
+
+  int threads = config.scan_threads;
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 1 || files.size() < 2) {
+    for (size_t i = 0; i < files.size(); ++i) lint_one(i);
+  } else {
+    // Each task owns exactly one slot, so the fan-out needs no locking; the
+    // merge below walks slots in file order, keeping output deterministic.
+    ThreadPool pool(std::min<int>(threads, static_cast<int>(files.size())));
+    for (size_t i = 0; i < files.size(); ++i) {
+      pool.Submit([&lint_one, i] { lint_one(i); });
+    }
+    pool.Wait();
+  }
+
+  RunSummary summary = MergeSlots(files, slots, config);
+  summary.scan_seconds = util::MonotonicSeconds() - start;
+  return summary;
+}
+
+RunSummary LintSources(const std::vector<std::pair<std::string, std::string>>& sources,
+                       const LintConfig& config) {
+  std::vector<std::string> files;
+  files.reserve(sources.size());
+  for (const auto& [path, content] : sources) files.push_back(path);
+
+  std::vector<Slot> slots(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const std::string& path = sources[i].first;
+    std::string companion;
+    size_t dot = path.rfind('.');
+    if (dot != std::string::npos &&
+        (path.compare(dot, std::string::npos, ".cc") == 0 ||
+         path.compare(dot, std::string::npos, ".cpp") == 0)) {
+      const std::string header = path.substr(0, dot) + ".h";
+      for (const auto& [other_path, other_content] : sources) {
+        if (other_path == header) companion = other_content;
       }
     }
-
-    FileLintResult result = AnalyzeSource(file, content, companion, config);
-    summary.suppressed += result.suppressed;
-    summary.diagnostics.insert(summary.diagnostics.end(), result.diagnostics.begin(),
-                               result.diagnostics.end());
+    slots[i].analysis = AnalyzeFile(path, sources[i].second, companion, config);
+    slots[i].ok = true;
   }
-  return summary;
+  return MergeSlots(files, slots, config);
 }
 
 }  // namespace raslint

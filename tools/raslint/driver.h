@@ -1,11 +1,13 @@
 // raslint driver: walks the tree, pairs .cc files with their same-stem
-// headers, runs the rules, and aggregates a RunSummary. Shared between the
-// CLI (raslint_main.cc) and the test suite's full-repo meta-scan.
+// headers, runs the per-file rules in parallel, then one cross-TU Project
+// pass over everything. Shared between the CLI (raslint_main.cc) and the
+// test suite's full-repo meta-scan.
 
 #ifndef RAS_TOOLS_RASLINT_DRIVER_H_
 #define RAS_TOOLS_RASLINT_DRIVER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tools/raslint/report.h"
@@ -21,9 +23,18 @@ std::vector<std::string> CollectFiles(const std::string& root,
                                       const std::vector<std::string>& paths);
 
 // Lints every file in `files` (repo-relative; read from `root`). Unreadable
-// files become a diagnostic rather than a crash.
+// files become a diagnostic rather than a crash. Per-file analysis fans out
+// over a ThreadPool (config.scan_threads workers; 0 = hardware concurrency);
+// results merge back in file order, so output is identical at any thread
+// count. The cross-TU Project pass then runs once, serially.
 RunSummary LintFiles(const std::string& root, const std::vector<std::string>& files,
                      const LintConfig& config = LintConfig());
+
+// Same pipeline over in-memory (path, content) pairs — how tests exercise
+// cross-file rules (two-file lock inversions, call-graph-indirect blocking)
+// without touching disk. Companion headers are found among `sources`.
+RunSummary LintSources(const std::vector<std::pair<std::string, std::string>>& sources,
+                       const LintConfig& config = LintConfig());
 
 }  // namespace raslint
 }  // namespace ras

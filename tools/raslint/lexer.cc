@@ -40,6 +40,9 @@ void HarvestNolint(const std::string& comment, int line, FileScan& scan) {
     }
     pos = after;
   }
+  if (comment.find("RASLINT-HOT") != std::string::npos) {
+    scan.hot_lines.insert(line);
+  }
 }
 
 // Splits one whitespace-collapsed preprocessor line into directive + rest.
@@ -94,11 +97,17 @@ FileScan Lex(const std::string& path, const std::string& content) {
   int line = 1;
   bool at_line_start = true;  // Only whitespace seen since the last newline.
 
+  // Counts lines and tracks line-start state through every consumed byte, so
+  // multi-line regions (comments, raw strings, spliced literals) can never
+  // desynchronize the counter.
   auto advance = [&](size_t count) {
     for (size_t k = 0; k < count && i < n; ++k, ++i) {
-      if (content[i] == '\n') {
+      char c = content[i];
+      if (c == '\n') {
         ++line;
         at_line_start = true;
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        at_line_start = false;
       }
     }
   };
@@ -108,6 +117,15 @@ FileScan Lex(const std::string& path, const std::string& content) {
 
     if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
       advance(1);
+      continue;
+    }
+
+    // Phase-2 line splice between tokens: backslash-newline is whitespace
+    // that does NOT start a new logical line.
+    if (c == '\\' && i + 1 < n && content[i + 1] == '\n') {
+      bool was_line_start = at_line_start;
+      advance(2);
+      at_line_start = was_line_start;
       continue;
     }
 
@@ -132,14 +150,28 @@ FileScan Lex(const std::string& path, const std::string& content) {
     }
     at_line_start = false;
 
-    // Line comment.
+    // Line comment. A trailing backslash splices the next physical line into
+    // the comment (C++ phase-2), so `// ... \` swallows the following line
+    // rather than letting it tokenize as code.
     if (c == '/' && i + 1 < n && content[i + 1] == '/') {
       int start_line = line;
-      size_t end = content.find('\n', i);
-      std::string text =
-          content.substr(i, end == std::string::npos ? std::string::npos : end - i);
-      HarvestNolint(text, start_line, scan);
-      advance(text.size());
+      size_t end = i;
+      while (end < n) {
+        size_t nl = content.find('\n', end);
+        if (nl == std::string::npos) {
+          end = n;
+          break;
+        }
+        // A backslash immediately before the newline splices it (phase 2).
+        if (nl > i && content[nl - 1] == '\\') {
+          end = nl + 1;  // Spliced: the comment continues on the next line.
+          continue;
+        }
+        end = nl;
+        break;
+      }
+      HarvestNolint(content.substr(i, end - i), start_line, scan);
+      advance(end - i);
       continue;
     }
 
@@ -153,7 +185,9 @@ FileScan Lex(const std::string& path, const std::string& content) {
       continue;
     }
 
-    // Raw string literal: R"delim( ... )delim".
+    // Raw string literal: R"delim( ... )delim". The body is consumed as one
+    // token, so newlines and `#` characters inside it can neither start a
+    // bogus preprocessor line nor shift line attribution of later tokens.
     if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
       size_t paren = content.find('(', i + 2);
       if (paren != std::string::npos && paren - i - 2 <= 16) {
@@ -163,19 +197,26 @@ FileScan Lex(const std::string& path, const std::string& content) {
         size_t len = end == std::string::npos ? n - i : end + closer.size() - i;
         scan.tokens.push_back(Token{Token::Kind::kString, "", line});
         advance(len);
+        // Whatever the raw string contained, the next `#` is a directive
+        // only if real whitespace-then-newline precedes it.
+        at_line_start = false;
         continue;
       }
     }
 
     // String / char literal. The token carries the literal's source text
     // (escapes un-processed, quotes stripped) so content-sensitive rules like
-    // ras-metric-name can validate it; identifier rules ignore kString.
+    // ras-metric-name can validate it; identifier rules ignore kString. An
+    // escaped newline (line splice inside the literal) continues the literal.
     if (c == '"' || c == '\'') {
       char quote = c;
       int start_line = line;
       size_t j = i + 1;
       while (j < n && content[j] != quote) {
-        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\\' && j + 1 < n) {
+          j += 2;  // Escape sequence — including a spliced "\<newline>".
+          continue;
+        }
         if (content[j] == '\n') break;  // Unterminated: stop at EOL.
         ++j;
       }
@@ -206,9 +247,15 @@ FileScan Lex(const std::string& path, const std::string& content) {
       continue;
     }
 
-    // "::" is one token so rules can match qualified names.
+    // "::" and "->" are one token each so rules can match qualified names
+    // and member accesses.
     if (c == ':' && i + 1 < n && content[i + 1] == ':') {
       scan.tokens.push_back(Token{Token::Kind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      scan.tokens.push_back(Token{Token::Kind::kPunct, "->", line});
       advance(2);
       continue;
     }

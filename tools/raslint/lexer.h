@@ -1,14 +1,21 @@
 // raslint's lexer: a line-aware C++ tokenizer, deliberately not a parser.
 //
-// The linter's rules are token-pattern rules (see tools/raslint/rules.cc), so
-// the lexer only needs to get four things exactly right:
+// The linter's rules are token-pattern and scope-pattern rules (see
+// tools/raslint/rules.cc and the semantic layer in ast.h/symbols.h), so the
+// lexer only needs to get five things exactly right:
 //   1. comments and string/char literals never produce identifier tokens
 //      (otherwise `// uses steady_clock` or "mt19937" in a string would
 //      trip a rule);
-//   2. every token knows its 1-based source line, for file:line diagnostics;
+//   2. every token knows its 1-based source line, for file:line diagnostics —
+//      including across backslash line-continuations (multi-line macros,
+//      spliced comments, spliced string literals) and `#` characters inside
+//      raw strings, neither of which may desynchronize the line counter;
 //   3. `// NOLINT(ras-x)` / `// NOLINTNEXTLINE(ras-x)` suppressions are
 //      harvested from comments with the line they apply to;
-//   4. preprocessor lines are captured structurally (#include targets and
+//   4. `// RASLINT-HOT` markers are harvested: a function defined on the
+//      marker's line or the line after is a hot-path root for the
+//      ras-blocking-in-hot-path rule;
+//   5. preprocessor lines are captured structurally (#include targets and
 //      the #ifndef/#define include-guard pair) instead of as tokens.
 
 #ifndef RAS_TOOLS_RASLINT_LEXER_H_
@@ -27,7 +34,7 @@ struct Token {
     kIdentifier,  // [A-Za-z_][A-Za-z0-9_]*
     kNumber,      // numeric literal (pp-number, loosely)
     kString,      // string or char literal, raw strings included
-    kPunct,       // single punctuation char, except "::" which is one token
+    kPunct,       // single punctuation char; "::" and "->" are one token each
   };
   Kind kind;
   std::string text;
@@ -55,6 +62,8 @@ struct FileScan {
   GuardInfo guard;
   // line -> rules suppressed on that line; the wildcard "*" suppresses all.
   std::map<int, std::set<std::string>> nolint;
+  // Lines carrying a `RASLINT-HOT` comment marker (hot-path root functions).
+  std::set<int> hot_lines;
   int num_lines = 0;
 };
 

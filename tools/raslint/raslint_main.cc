@@ -1,12 +1,16 @@
 // raslint CLI.
 //
-//   raslint [--root=DIR] [--json=FILE] [--rule=ras-x ...] PATH...
+//   raslint [--root=DIR] [--json=FILE] [--sarif=FILE] [--threads=N]
+//           [--rule=ras-x ...] PATH...
 //
 // PATHs are files or directories, relative to --root (default: the current
-// directory). Exit code 0 = no errors (warnings allowed), 1 = errors found,
-// 2 = usage problem. CI runs `raslint --root=. --json=raslint.json src tools
+// directory). --threads=0 (default) scans with one worker per hardware
+// thread; --threads=1 forces the serial baseline. Exit code 0 = no errors
+// (warnings allowed), 1 = errors found, 2 = usage problem. CI runs
+// `raslint --root=. --json=raslint.json --sarif=raslint.sarif src tools
 // tests` via the `raslint_check` CMake target.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,6 +23,7 @@
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_path;
+  std::string sarif_path;
   ras::raslint::LintConfig config;
   std::vector<std::string> paths;
 
@@ -28,10 +33,15 @@ int main(int argc, char** argv) {
       root = arg.substr(7);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.scan_threads = std::atoi(arg.substr(10).c_str());
     } else if (arg.rfind("--rule=", 0) == 0) {
       config.enabled_rules.insert(arg.substr(7));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: raslint [--root=DIR] [--json=FILE] [--rule=ras-x ...] PATH...\n";
+      std::cout << "usage: raslint [--root=DIR] [--json=FILE] [--sarif=FILE] "
+                   "[--threads=N] [--rule=ras-x ...] PATH...\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "raslint: unknown flag " << arg << "\n";
@@ -56,6 +66,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     ras::raslint::WriteJson(summary, json);
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path);
+    if (!sarif) {
+      std::cerr << "raslint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    ras::raslint::WriteSarif(summary, sarif);
   }
   return summary.errors() > 0 ? 1 : 0;
 }

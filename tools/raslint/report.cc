@@ -54,7 +54,13 @@ void WriteText(const RunSummary& summary, std::ostream& os) {
   }
   os << "raslint: " << summary.files_scanned << " files scanned, " << summary.errors()
      << " errors, " << summary.warnings() << " warnings, " << summary.suppressed
-     << " suppressed\n";
+     << " suppressed";
+  if (summary.scan_seconds > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", summary.scan_seconds);
+    os << " (" << buf << "s)";
+  }
+  os << "\n";
 }
 
 void WriteJson(const RunSummary& summary, std::ostream& os) {
@@ -78,6 +84,58 @@ void WriteJson(const RunSummary& summary, std::ostream& os) {
     first = false;
   }
   os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+void WriteSarif(const RunSummary& summary, std::ostream& os) {
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"raslint\",\n"
+     << "          \"informationUri\": \"https://github.com/ras/ras\",\n"
+     << "          \"rules\": [";
+  const std::vector<RuleMeta>& rules = RuleCatalogue();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "            {\"id\": \"" << rules[i].id
+       << "\", \"shortDescription\": {\"text\": \"";
+    JsonEscape(rules[i].summary, os);
+    os << "\"}}";
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : summary.diagnostics) {
+    // Rule index into the catalogue; unknown rules (e.g. ras-driver IO
+    // errors) get no ruleIndex.
+    int rule_index = -1;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (d.rule == rules[i].id) {
+        rule_index = static_cast<int>(i);
+        break;
+      }
+    }
+    os << (first ? "\n" : ",\n") << "        {\"ruleId\": \"";
+    JsonEscape(d.rule, os);
+    os << "\"";
+    if (rule_index >= 0) os << ", \"ruleIndex\": " << rule_index;
+    os << ", \"level\": \"" << (d.severity == Severity::kError ? "error" : "warning")
+       << "\", \"message\": {\"text\": \"";
+    JsonEscape(d.message, os);
+    os << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \"";
+    JsonEscape(d.file, os);
+    os << "\"}, \"region\": {\"startLine\": " << (d.line < 1 ? 1 : d.line) << "}}}]}";
+    first = false;
+  }
+  os << (first ? "" : "\n      ") << "]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
 }
 
 }  // namespace raslint

@@ -31,6 +31,7 @@ struct RunSummary {
   std::vector<Diagnostic> diagnostics;
   int files_scanned = 0;
   int suppressed = 0;
+  double scan_seconds = 0.0;  // Wall time of the file scan (0 when untimed).
 
   int errors() const;
   int warnings() const;
@@ -41,6 +42,13 @@ struct RunSummary {
 void WriteText(const RunSummary& summary, std::ostream& os);
 
 void WriteJson(const RunSummary& summary, std::ostream& os);
+
+// SARIF 2.1.0 (https://json.schemastore.org/sarif-2.1.0.json): one run, the
+// full rule catalogue under tool.driver.rules, one result per diagnostic
+// (level error/warning, physicalLocation with repo-relative uri and a
+// startLine clamped to >= 1). Consumed by GitHub code scanning via
+// codeql-action/upload-sarif.
+void WriteSarif(const RunSummary& summary, std::ostream& os);
 
 }  // namespace raslint
 }  // namespace ras

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "tools/raslint/ast.h"
+#include "tools/raslint/callgraph.h"
+
 namespace ras {
 namespace raslint {
 namespace {
@@ -380,9 +383,11 @@ void CheckIncludeHygiene(RuleContext& ctx) {
                      "architecture decision, not a lint fix)");
       }
     } else if (StartsWith(path, "tools/")) {
-      if (!StartsWith(inc.path, "tools/")) {
+      // tools/ may borrow src/util leaf utilities (ThreadPool for the
+      // parallel scan, MonotonicSeconds for wall-time) but nothing above.
+      if (!StartsWith(inc.path, "tools/") && !StartsWith(inc.path, "src/util/")) {
         ctx.Emit(kIncludeHygiene, Severity::kError, inc.line,
-                 "tools/ is self-contained and may not include \"" + inc.path + "\"");
+                 "tools/ may only include tools/ and src/util/, not \"" + inc.path + "\"");
       }
     }
   }
@@ -456,10 +461,51 @@ void CheckMetricName(RuleContext& ctx) {
   }
 }
 
+// --- ras-guarded-access ------------------------------------------------------
+
+// The violations themselves come out of the held-lock walk in symbols.cc;
+// this just turns them into NOLINT-filtered diagnostics.
+void CheckGuardedAccess(RuleContext& ctx, const FileSemantics& sem) {
+  if (!ctx.RuleEnabled(kRuleGuardedAccess)) return;
+  for (const GuardedViolation& v : sem.guarded_violations) {
+    ctx.Emit(kRuleGuardedAccess, Severity::kError, v.line,
+             "field '" + v.field + "' is GUARDED_BY(" + v.guard + ") but '" + v.guard +
+                 "' is not held here; take the lock (MutexLock) or annotate the "
+                 "function REQUIRES(" + v.guard + ")");
+  }
+}
+
 }  // namespace
 
 const char* SeverityName(Severity s) {
   return s == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleMeta>& RuleCatalogue() {
+  static const std::vector<RuleMeta> kRules = {
+      {"ras-unordered-iteration",
+       "Iteration over std::unordered_map/set in solver-path code; hash order can leak "
+       "into solver output"},
+      {"ras-wall-clock",
+       "Wall-clock or nondeterministic seed source outside util::MonotonicSeconds()"},
+      {"ras-unseeded-rng", "RNG engine constructed without an explicit seed"},
+      {"ras-naked-thread", "std::thread/std::async outside src/util/thread_pool"},
+      {"ras-float-money", "float/double on integer-RRU ledger quantities"},
+      {"ras-include-hygiene",
+       "Include-guard, repo-rooted-include, and directory-layering violations"},
+      {"ras-metric-name",
+       "Metric literals must match ras_<subsystem>_<name>; counters end in _total"},
+      {kRuleGuardedAccess,
+       "GUARDED_BY field accessed without holding its mutex (flow-aware)"},
+      {kRuleLockOrder,
+       "Cycle in the global lock-acquisition-order graph, including call-graph-induced "
+       "edges (potential deadlock)"},
+      {kRuleBlockingHotPath,
+       "Blocking call (fsync/file IO/sleep/std::cout) reachable from a RASLINT-HOT root "
+       "or inside a held-lock region"},
+      {kRuleStatusDiscard, "Status/Result return value silently discarded"},
+  };
+  return kRules;
 }
 
 std::string CanonicalGuard(const std::string& path) {
@@ -473,18 +519,24 @@ std::string CanonicalGuard(const std::string& path) {
   return guard;
 }
 
-FileLintResult AnalyzeSource(const std::string& path, const std::string& content,
-                             const std::string& companion_content, const LintConfig& config) {
-  FileLintResult out;
-  FileScan scan = Lex(path, content);
+FileAnalysis AnalyzeFile(const std::string& path, const std::string& content,
+                         const std::string& companion_content, const LintConfig& config) {
+  FileAnalysis out;
+  out.scan = Lex(path, content);
   FileScan companion;
   const FileScan* companion_ptr = nullptr;
+  AstFile companion_ast;
+  const AstFile* companion_ast_ptr = nullptr;
   if (!companion_content.empty()) {
     companion = Lex(path, companion_content);
     companion_ptr = &companion;
+    companion_ast = BuildAst(companion);
+    companion_ast_ptr = &companion_ast;
   }
+  AstFile ast = BuildAst(out.scan);
+  out.semantics = BuildSemantics(out.scan, ast, companion_ptr, companion_ast_ptr);
 
-  RuleContext ctx(scan, config, out);
+  RuleContext ctx(out.scan, config, out.result);
   CheckUnorderedIteration(ctx, companion_ptr);
   CheckWallClock(ctx);
   CheckUnseededRng(ctx);
@@ -492,6 +544,22 @@ FileLintResult AnalyzeSource(const std::string& path, const std::string& content
   CheckFloatMoney(ctx);
   CheckIncludeHygiene(ctx);
   CheckMetricName(ctx);
+  CheckGuardedAccess(ctx, out.semantics);
+
+  std::stable_sort(
+      out.result.diagnostics.begin(), out.result.diagnostics.end(),
+      [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
+  return out;
+}
+
+FileLintResult AnalyzeSource(const std::string& path, const std::string& content,
+                             const std::string& companion_content, const LintConfig& config) {
+  FileAnalysis analysis = AnalyzeFile(path, content, companion_content, config);
+  FileLintResult out = std::move(analysis.result);
+
+  Project project;
+  project.AddFile(analysis.scan, analysis.semantics);
+  project.Finalize(config, &out.diagnostics, &out.suppressed);
 
   std::stable_sort(out.diagnostics.begin(), out.diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });

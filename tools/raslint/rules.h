@@ -1,7 +1,7 @@
 // raslint rule engine: RAS-specific determinism & concurrency invariants.
 //
-// Seven rules, all token-level (see DESIGN.md "Static analysis" for the full
-// catalogue and rationale):
+// Eleven rules (see DESIGN.md "Static analysis" for the full catalogue and
+// rationale). Seven are token-level:
 //
 //   ras-unordered-iteration  iteration over std::unordered_map/set in
 //                            solver-path dirs, where hash order can leak into
@@ -28,6 +28,21 @@
 //                            `_total`, gauges/histograms do not. Dynamic
 //                            (non-literal) names are not checked.
 //
+// Four are flow-aware, built on the scope/symbol/call-graph layers (ast.h,
+// symbols.h, callgraph.h):
+//
+//   ras-guarded-access       GUARDED_BY(mu) field touched in a scope that
+//                            does not hold mu (covers GCC builds where the
+//                            Clang thread-safety analysis never runs).
+//   ras-lock-order           acquisition-order cycles across the project's
+//                            lock graph, including edges induced through the
+//                            call graph — the deadlock detector.
+//   ras-blocking-in-hot-path blocking sinks (fsync, file IO, sleep,
+//                            std::cout) reachable from RASLINT-HOT roots or
+//                            inside held-lock regions.
+//   ras-status-discard       Status/Result-returning call whose result is
+//                            dropped at statement position.
+//
 // Suppression: `// NOLINT(ras-rule)` on the offending line, or
 // `// NOLINTNEXTLINE(ras-rule)` on the line before; bare NOLINT suppresses
 // every rule on its line. Suppressed diagnostics are counted, not dropped
@@ -42,6 +57,7 @@
 #include <vector>
 
 #include "tools/raslint/lexer.h"
+#include "tools/raslint/symbols.h"
 
 namespace ras {
 namespace raslint {
@@ -49,6 +65,21 @@ namespace raslint {
 enum class Severity { kWarning, kError };
 
 const char* SeverityName(Severity s);
+
+// Identifiers of the semantic rules, shared between rules.cc (guarded-access,
+// catalogue) and callgraph.cc (the project rules).
+inline constexpr char kRuleGuardedAccess[] = "ras-guarded-access";
+inline constexpr char kRuleLockOrder[] = "ras-lock-order";
+inline constexpr char kRuleBlockingHotPath[] = "ras-blocking-in-hot-path";
+inline constexpr char kRuleStatusDiscard[] = "ras-status-discard";
+
+// One entry per rule, id + one-line description; drives the SARIF
+// tool.driver.rules array and the README table.
+struct RuleMeta {
+  const char* id;
+  const char* summary;
+};
+const std::vector<RuleMeta>& RuleCatalogue();
 
 struct Diagnostic {
   std::string rule;
@@ -87,6 +118,12 @@ struct LintConfig {
        {"src/core", "src/faults", "src/fleet", "src/health", "src/journal", "src/obs",
         "src/twine"}},
   };
+  // Extra hot-path roots for ras-blocking-in-hot-path, by qualified or bare
+  // name; the usual mechanism is a `// RASLINT-HOT` comment on the
+  // definition.
+  std::vector<std::string> hot_root_functions;
+  // Driver file-scan parallelism; 0 = one worker per hardware thread.
+  int scan_threads = 0;
 };
 
 struct FileLintResult {
@@ -94,9 +131,24 @@ struct FileLintResult {
   int suppressed = 0;
 };
 
-// Runs every enabled rule over `content`. `companion_content` is the file's
-// same-stem header (empty if none): member containers declared there are in
-// scope for the iteration rule when linting the .cc.
+// Per-file analysis: the token rules plus ras-guarded-access, with the lexer
+// scan and semantic tables kept so the driver can feed a cross-TU Project.
+struct FileAnalysis {
+  FileScan scan;
+  FileSemantics semantics;
+  FileLintResult result;
+};
+
+// Runs the per-file rules over `content`. `companion_content` is the file's
+// same-stem header (empty if none): member containers and GUARDED_BY fields
+// declared there are in scope when linting the .cc.
+FileAnalysis AnalyzeFile(const std::string& path, const std::string& content,
+                         const std::string& companion_content = std::string(),
+                         const LintConfig& config = LintConfig());
+
+// AnalyzeFile plus a single-file project pass (lock-order, blocking,
+// status-discard confined to this TU). The driver instead runs one Project
+// over every scanned file; this entry point serves tests and fixtures.
 FileLintResult AnalyzeSource(const std::string& path, const std::string& content,
                              const std::string& companion_content = std::string(),
                              const LintConfig& config = LintConfig());

@@ -1,0 +1,473 @@
+#include "tools/raslint/symbols.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ras {
+namespace raslint {
+namespace {
+
+// owner_fn sentinel: the field is function-local in the companion file, so it
+// can never be in scope in the file being walked.
+constexpr int kCompanionLocal = -2;
+
+bool IsIdent(const Token& t) { return t.kind == Token::Kind::kIdentifier; }
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdentifier && t.text == text;
+}
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+int ForwardMatch(const std::vector<Token>& toks, int open, const char* open_text,
+                 const char* close_text) {
+  int depth = 0;
+  for (int k = open; k < static_cast<int>(toks.size()) && k - open < 4096; ++k) {
+    if (IsPunct(toks[k], open_text)) ++depth;
+    if (IsPunct(toks[k], close_text)) {
+      if (--depth == 0) return k;
+    }
+  }
+  return -1;
+}
+
+int BackwardMatch(const std::vector<Token>& toks, int close, const char* open_text,
+                  const char* close_text) {
+  int depth = 0;
+  for (int k = close; k >= 0 && close - k < 4096; --k) {
+    if (IsPunct(toks[k], close_text)) ++depth;
+    if (IsPunct(toks[k], open_text)) {
+      if (--depth == 0) return k;
+    }
+  }
+  return -1;
+}
+
+bool IsMemberSep(const Token& t) {
+  return t.kind == Token::Kind::kPunct && (t.text == "." || t.text == "->");
+}
+
+// Index of the first token of the postfix chain ending at `idx`:
+// `wal_->AppendTorn` -> index of `wal_`; `util::Foo` -> index of `util`.
+int ChainStart(const std::vector<Token>& toks, int idx) {
+  int k = idx;
+  while (k >= 2 && (IsMemberSep(toks[k - 1]) || IsPunct(toks[k - 1], "::")) &&
+         IsIdent(toks[k - 2])) {
+    k -= 2;
+  }
+  return k;
+}
+
+// Joins a member chain with `->` normalized to `.` so `sh->mu` and `sh.mu`
+// compare equal.
+std::string JoinChain(const std::vector<Token>& toks, int from, int to) {
+  std::string out;
+  for (int k = from; k <= to; ++k) {
+    out += IsMemberSep(toks[k]) ? "." : toks[k].text;
+  }
+  return out;
+}
+
+// Blocking call sinks: names that, called bare or ::/std::-qualified, reach
+// the filesystem or the scheduler. CondVar::Wait and ThreadPool::Wait are
+// deliberately absent — waiting on a condition is how the concurrency model
+// works, not a hot-path bug.
+const std::set<std::string>& CallSinks() {
+  static const std::set<std::string> kSet = {
+      "fsync",    "fdatasync", "fopen",     "fwrite",      "fread",  "fflush",
+      "fclose",   "fprintf",   "fputs",     "fgets",       "printf", "puts",
+      "rename",   "ftruncate", "truncate",  "system",      "sleep",  "usleep",
+      "nanosleep", "sleep_for", "sleep_until"};
+  return kSet;
+}
+
+// std::-qualified stream objects/types whose use implies console or file IO.
+const std::set<std::string>& StreamSinks() {
+  static const std::set<std::string> kSet = {"cout", "cerr", "clog", "ofstream",
+                                             "ifstream", "fstream"};
+  return kSet;
+}
+
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",     "for",      "while",    "switch",      "return",   "sizeof",
+      "alignof", "catch",   "new",      "delete",      "throw",    "static_cast",
+      "dynamic_cast", "reinterpret_cast", "const_cast", "decltype", "noexcept",
+      "static_assert", "assert", "defined", "alignas", "typeid"};
+  return kSet;
+}
+
+void HarvestGuarded(const FileScan& scan, const AstFile& ast,
+                    std::vector<GuardedField>* out) {
+  const std::vector<Token>& toks = scan.tokens;
+  for (int i = 0; i + 2 < static_cast<int>(toks.size()); ++i) {
+    if (!IsIdent(toks[i]) || !IsIdent(toks[i + 1], "GUARDED_BY") ||
+        !IsPunct(toks[i + 2], "(")) {
+      continue;
+    }
+    int close = ForwardMatch(toks, i + 2, "(", ")");
+    if (close < 0) continue;
+    GuardedField g;
+    g.field = toks[i].text;
+    g.guard = JoinChain(toks, i + 3, close - 1);
+    g.line = toks[i].line;
+    g.decl_tok = i;
+
+    // Innermost class scope containing the declaration, and — when that
+    // class is itself inside a function body — the owning function.
+    int class_scope = -1;
+    for (int s = 0; s < static_cast<int>(ast.scopes.size()); ++s) {
+      const Scope& sc = ast.scopes[s];
+      if (sc.kind != Scope::Kind::kClass || sc.close_tok < 0) continue;
+      if (sc.open_tok < i && i < sc.close_tok &&
+          (class_scope < 0 || sc.open_tok > ast.scopes[class_scope].open_tok)) {
+        class_scope = s;
+      }
+    }
+    if (class_scope >= 0) {
+      g.owner_class = ast.scopes[class_scope].name;
+      for (int p = ast.scopes[class_scope].parent; p >= 0; p = ast.scopes[p].parent) {
+        if (ast.scopes[p].kind == Scope::Kind::kFunction) {
+          g.owner_fn = ast.scopes[p].function;
+          break;
+        }
+      }
+    }
+    if (g.owner_fn >= 0 && class_scope >= 0) {
+      // Instances of the local struct: `} sh;` after the class body and
+      // `Shared sh;` declarations in the owning function.
+      const Scope& cls = ast.scopes[class_scope];
+      if (cls.close_tok + 1 < static_cast<int>(toks.size()) &&
+          IsIdent(toks[cls.close_tok + 1])) {
+        g.instances.insert(toks[cls.close_tok + 1].text);
+      }
+      const FunctionSig& owner = ast.functions[g.owner_fn];
+      if (!cls.name.empty() && owner.body_open >= 0 && owner.body_close > 0) {
+        for (int k = owner.body_open; k + 1 < owner.body_close; ++k) {
+          if (IsIdent(toks[k]) && toks[k].text == cls.name && IsIdent(toks[k + 1])) {
+            g.instances.insert(toks[k + 1].text);
+          }
+        }
+      }
+    }
+    out->push_back(std::move(g));
+  }
+}
+
+// Everything the per-function walk needs to share.
+struct WalkContext {
+  const FileScan& scan;
+  const AstFile& ast;
+  const std::map<int, int>& scope_by_open;  // open_tok -> scope idx.
+  const std::map<std::string, std::vector<GuardedField>>& guarded;  // by field.
+  const std::map<std::string, std::vector<std::string>>& decl_requires;
+};
+
+// One brace frame of the held-lock walk.
+struct Frame {
+  std::vector<std::string> entry_held;
+  std::vector<std::string> scoped;  // RAII MutexLock raws owned by this frame.
+  bool manual_change = false;
+  bool early_exit = false;
+  bool is_lambda = false;
+};
+
+void WalkFunction(const WalkContext& ctx, int fn_index, FileSemantics* out) {
+  const std::vector<Token>& toks = ctx.scan.tokens;
+  const FunctionSig& sig = ctx.ast.functions[fn_index];
+  if (sig.body_open < 0 || sig.body_close < 0) return;
+
+  FunctionSem sem;
+  sem.sig = sig;
+
+  // Mutexes declared in the body: `Mutex name;` (canonicalized per-function).
+  std::set<std::string> local_mutexes;
+  for (int k = sig.body_open; k < sig.body_close - 1; ++k) {
+    if (!IsIdent(toks[k], "Mutex") || !IsIdent(toks[k + 1])) continue;
+    if (k >= 1 && (IsMemberSep(toks[k - 1]) || IsPunct(toks[k - 1], "::"))) continue;
+    local_mutexes.insert(toks[k + 1].text);
+  }
+
+  auto canon = [&](const std::string& raw) -> std::string {
+    if (raw.find("::") != std::string::npos) return raw;
+    if (raw.find('.') != std::string::npos) return sig.qualified + "/" + raw;
+    if (!raw.empty() && raw.back() == '_') {
+      return sig.class_name.empty() ? sig.qualified + "/" + raw
+                                    : sig.class_name + "::" + raw;
+    }
+    if (local_mutexes.count(raw) > 0) return sig.qualified + "/" + raw;
+    return raw;
+  };
+
+  std::vector<std::string> held;
+  auto canon_held = [&] {
+    std::vector<std::string> out_held;
+    out_held.reserve(held.size());
+    for (const std::string& h : held) out_held.push_back(canon(h));
+    std::sort(out_held.begin(), out_held.end());
+    out_held.erase(std::unique(out_held.begin(), out_held.end()), out_held.end());
+    return out_held;
+  };
+
+  // REQUIRES(...) on the definition or its header declaration seed the set.
+  for (const std::string& r : sig.requires_locks) held.push_back(r);
+  auto decl_it = ctx.decl_requires.find(sig.qualified);
+  if (decl_it != ctx.decl_requires.end()) {
+    for (const std::string& r : decl_it->second) {
+      if (std::find(held.begin(), held.end(), r) == held.end()) held.push_back(r);
+    }
+  }
+
+  const bool is_ctor_or_dtor =
+      !sig.class_name.empty() &&
+      (sig.name == sig.class_name || sig.name == "~" + sig.class_name);
+
+  std::vector<Frame> frames;
+  int i = sig.body_open;
+  while (i <= sig.body_close && i < static_cast<int>(toks.size())) {
+    const Token& t = toks[i];
+
+    if (IsPunct(t, "{")) {
+      auto sit = ctx.scope_by_open.find(i);
+      const Scope* scope =
+          sit == ctx.scope_by_open.end() ? nullptr : &ctx.ast.scopes[sit->second];
+      if (scope != nullptr && scope->kind == Scope::Kind::kClass) {
+        i = scope->close_tok > i ? scope->close_tok + 1 : sig.body_close + 1;
+        continue;  // Local struct: fields are declarations, methods walk alone.
+      }
+      if (scope != nullptr && scope->kind == Scope::Kind::kFunction &&
+          scope->function != fn_index) {
+        i = scope->close_tok > i ? scope->close_tok + 1 : sig.body_close + 1;
+        continue;  // Nested definition, walked separately.
+      }
+      Frame f;
+      f.entry_held = held;
+      if (scope != nullptr && scope->kind == Scope::Kind::kLambda) {
+        f.is_lambda = true;
+        held.clear();  // The body usually runs later, possibly elsewhere.
+      }
+      frames.push_back(std::move(f));
+      ++i;
+      continue;
+    }
+
+    if (IsPunct(t, "}")) {
+      if (!frames.empty()) {
+        Frame f = std::move(frames.back());
+        frames.pop_back();
+        for (const std::string& raw : f.scoped) {
+          auto it = std::find(held.rbegin(), held.rend(), raw);
+          if (it != held.rend()) held.erase(std::next(it).base());
+        }
+        if (f.is_lambda || (f.manual_change && f.early_exit)) {
+          held = f.entry_held;  // Early-exit heuristic / deferred lambda body.
+        }
+      }
+      if (frames.empty()) break;  // Function body closed.
+      ++i;
+      continue;
+    }
+
+    if (IsIdent(t) && (t.text == "return" || t.text == "break" || t.text == "continue" ||
+                       t.text == "throw")) {
+      if (!frames.empty()) frames.back().early_exit = true;
+      ++i;
+      continue;
+    }
+
+    // RAII acquisition: `MutexLock lock(&mu);` (also brace-init).
+    if (IsIdent(t, "MutexLock") && i + 2 < static_cast<int>(toks.size()) &&
+        IsIdent(toks[i + 1]) &&
+        (IsPunct(toks[i + 2], "(") || IsPunct(toks[i + 2], "{"))) {
+      const char* open = toks[i + 2].text == "(" ? "(" : "{";
+      const char* close = toks[i + 2].text == "(" ? ")" : "}";
+      int end = ForwardMatch(toks, i + 2, open, close);
+      if (end > 0) {
+        int from = i + 3;
+        if (from < end && IsPunct(toks[from], "&")) ++from;
+        std::string raw = JoinChain(toks, from, end - 1);
+        sem.acquires.push_back(AcquireSite{canon(raw), canon_held(), t.line});
+        if (!frames.empty()) frames.back().scoped.push_back(raw);
+        held.push_back(std::move(raw));
+        i = end + 1;
+        continue;
+      }
+    }
+
+    // Manual `chain.Lock()` / `chain.Unlock()`.
+    if (IsIdent(t) && (t.text == "Lock" || t.text == "Unlock") && i >= 2 &&
+        IsMemberSep(toks[i - 1]) && i + 1 < static_cast<int>(toks.size()) &&
+        IsPunct(toks[i + 1], "(")) {
+      int start = ChainStart(toks, i);
+      std::string raw = JoinChain(toks, start, i - 2);
+      if (t.text == "Lock") {
+        sem.acquires.push_back(AcquireSite{canon(raw), canon_held(), t.line});
+        held.push_back(raw);
+      } else {
+        auto it = std::find(held.rbegin(), held.rend(), raw);
+        if (it != held.rend()) held.erase(std::next(it).base());
+      }
+      if (!frames.empty()) frames.back().manual_change = true;
+      i += 2;
+      continue;
+    }
+
+    if (IsIdent(t)) {
+      const bool member = i >= 1 && IsMemberSep(toks[i - 1]);
+      const bool colon_qualified = i >= 1 && IsPunct(toks[i - 1], "::");
+      const bool std_qualified =
+          colon_qualified && i >= 2 && IsIdent(toks[i - 2], "std");
+      const bool next_call = i + 1 < static_cast<int>(toks.size()) && IsPunct(toks[i + 1], "(");
+
+      // Blocking sinks.
+      if (!member && next_call && CallSinks().count(t.text) > 0) {
+        sem.sinks.push_back(SinkSite{t.text, t.line, canon_held()});
+        ++i;
+        continue;
+      }
+      if (std_qualified && StreamSinks().count(t.text) > 0) {
+        sem.sinks.push_back(SinkSite{"std::" + t.text, t.line, canon_held()});
+        ++i;
+        continue;
+      }
+
+      // Guarded-field access. A field name alone is not enough — the entry
+      // must be in scope here: function-local struct fields only match
+      // `instance.field` inside their owning function, class members only
+      // match from that class's own methods (or through `this`).
+      auto git = ctx.guarded.find(t.text);
+      if (git != ctx.guarded.end() && !is_ctor_or_dtor && !next_call &&
+          !colon_qualified &&
+          !(i + 1 < static_cast<int>(toks.size()) && IsIdent(toks[i + 1], "GUARDED_BY"))) {
+        std::string obj;
+        if (member) {
+          int start = ChainStart(toks, i);
+          obj = JoinChain(toks, start, i - 2);
+        }
+        for (const GuardedField& g : git->second) {
+          std::string required;
+          if (g.owner_fn == kCompanionLocal) continue;
+          if (g.owner_fn >= 0) {
+            if (g.owner_fn != fn_index || obj.empty() ||
+                g.instances.count(obj) == 0) {
+              continue;
+            }
+            required = obj + "." + g.guard;
+          } else if (!g.owner_class.empty()) {
+            if (sig.class_name != g.owner_class) continue;
+            required = (obj.empty() || obj == "this") ? g.guard
+                                                      : obj + "." + g.guard;
+          } else {
+            required = (obj.empty() || obj == "this") ? g.guard
+                                                      : obj + "." + g.guard;
+          }
+          if (std::find(held.begin(), held.end(), required) == held.end()) {
+            out->guarded_violations.push_back(
+                GuardedViolation{t.text, required, t.line});
+          }
+          break;  // First in-scope entry decides.
+        }
+        ++i;
+        continue;
+      }
+
+      // Call sites.
+      if (next_call && CallKeywords().count(t.text) == 0 &&
+          !IsThreadAnnotation(t.text) && t.text != "MutexLock") {
+        CallSite cs;
+        cs.callee = t.text;
+        cs.member = member;
+        cs.line = t.line;
+        cs.held = canon_held();
+        if (colon_qualified && i >= 2 && IsIdent(toks[i - 2])) {
+          cs.qualifier = toks[i - 2].text;
+        }
+        int start = ChainStart(toks, i);
+        int close = ForwardMatch(toks, i + 1, "(", ")");
+        bool stmt_position = false;
+        if (start == 0) {
+          stmt_position = true;
+        } else {
+          const Token& before = toks[start - 1];
+          if (IsPunct(before, ";") || IsPunct(before, "{") || IsPunct(before, "}") ||
+              IsIdent(before, "else")) {
+            stmt_position = true;
+          } else if (IsPunct(before, ")")) {
+            int open = BackwardMatch(toks, start - 1, "(", ")");
+            if (open >= 1 && IsIdent(toks[open - 1]) &&
+                (toks[open - 1].text == "if" || toks[open - 1].text == "while" ||
+                 toks[open - 1].text == "for")) {
+              stmt_position = true;
+            }
+          }
+        }
+        cs.discarded = stmt_position && close > 0 &&
+                       close + 1 < static_cast<int>(toks.size()) &&
+                       IsPunct(toks[close + 1], ";");
+        sem.calls.push_back(std::move(cs));
+        ++i;
+        continue;
+      }
+    }
+
+    ++i;
+  }
+
+  out->functions.push_back(std::move(sem));
+}
+
+}  // namespace
+
+bool IsBlockingCall(const std::string& name) { return CallSinks().count(name) > 0; }
+
+FileSemantics BuildSemantics(const FileScan& scan, const AstFile& ast,
+                             const FileScan* companion, const AstFile* companion_ast) {
+  FileSemantics sem;
+  sem.path = scan.path;
+
+  std::vector<GuardedField> guarded_list;
+  HarvestGuarded(scan, ast, &guarded_list);
+  if (companion != nullptr && companion_ast != nullptr) {
+    size_t before = guarded_list.size();
+    HarvestGuarded(*companion, *companion_ast, &guarded_list);
+    // Function-local struct fields in the companion belong to functions of
+    // that file, not this one; mark them so the walk below never matches.
+    for (size_t k = before; k < guarded_list.size(); ++k) {
+      if (guarded_list[k].owner_fn >= 0) guarded_list[k].owner_fn = kCompanionLocal;
+    }
+  }
+  std::map<std::string, std::vector<GuardedField>> guarded;
+  for (const GuardedField& g : guarded_list) guarded[g.field].push_back(g);
+  sem.guarded = std::move(guarded_list);
+
+  std::map<std::string, std::vector<std::string>> decl_requires;
+  auto harvest_decls = [&](const AstFile& a) {
+    for (const FunctionSig& f : a.functions) {
+      if (f.is_definition) continue;
+      sem.declarations.push_back(f);
+      if (!f.requires_locks.empty()) {
+        std::vector<std::string>& reqs = decl_requires[f.qualified];
+        for (const std::string& r : f.requires_locks) {
+          if (std::find(reqs.begin(), reqs.end(), r) == reqs.end()) reqs.push_back(r);
+        }
+      }
+    }
+  };
+  harvest_decls(ast);
+  if (companion_ast != nullptr) harvest_decls(*companion_ast);
+
+  std::map<int, int> scope_by_open;
+  for (int s = 0; s < static_cast<int>(ast.scopes.size()); ++s) {
+    scope_by_open[ast.scopes[s].open_tok] = s;
+  }
+
+  WalkContext ctx{scan, ast, scope_by_open, guarded, decl_requires};
+  for (int f = 0; f < static_cast<int>(ast.functions.size()); ++f) {
+    if (ast.functions[f].is_definition) WalkFunction(ctx, f, &sem);
+  }
+  return sem;
+}
+
+}  // namespace raslint
+}  // namespace ras

@@ -1,0 +1,111 @@
+// raslint's symbol layer: per-function lock state, call/acquire/sink sites,
+// and GUARDED_BY field tables.
+//
+// For every function definition in a file, BuildSemantics performs a linear
+// walk over the body tokens tracking which mutexes are held:
+//
+//   - `MutexLock lock(&mu);` holds `mu` until the enclosing scope closes
+//     (RAII — registered against the brace frame that owns it);
+//   - `mu.Lock()` / `mu.Unlock()` toggle manually. When a scope that saw a
+//     manual toggle exits via return/break/continue/throw, the held set is
+//     restored to the scope-entry snapshot on `}` — this models the common
+//     `if (done) { mu_.Unlock(); return; }` early-exit shape without real
+//     flow analysis;
+//   - lambda bodies reset the held set (they usually run later, on another
+//     thread) and restore it on exit; their calls and sinks are attributed
+//     to the enclosing function (lambdas are inlined into the call graph);
+//   - REQUIRES(...) annotations (on the definition or its declaration in the
+//     companion header) seed the held set.
+//
+// Lock names are canonicalized so they compare across functions:
+//   `sh.mu`   -> "<qualified_fn>/sh.mu"   (function-local object member)
+//   `mu_`     -> "<Class>::mu_"           (class member)
+//   local     -> "<qualified_fn>/name"    (Mutex declared in the body)
+//   otherwise -> bare text                (global)
+//
+// The walk also records guarded-access violations (GUARDED_BY field touched
+// without its mutex in the held set) and blocking sinks (fsync, file IO,
+// sleep, std::cout, ...) with the locks held at each.
+
+#ifndef RAS_TOOLS_RASLINT_SYMBOLS_H_
+#define RAS_TOOLS_RASLINT_SYMBOLS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/raslint/ast.h"
+#include "tools/raslint/lexer.h"
+
+namespace ras {
+namespace raslint {
+
+// `field` is declared GUARDED_BY(`guard`) at `line`. Scoping metadata keeps
+// name collisions from firing: a field of a function-local struct only
+// matches `instance.field` accesses in that function; a class member only
+// matches bare accesses from that class's own methods.
+struct GuardedField {
+  std::string field;
+  std::string guard;
+  int line = 0;
+  int decl_tok = -1;         // Token index of the field identifier.
+  int owner_fn = -1;         // Function owning the local struct, -1 = none.
+  std::string owner_class;   // Innermost class scope the field lives in.
+  std::set<std::string> instances;  // Known variables of the local struct.
+};
+
+struct CallSite {
+  std::string callee;     // Bare name (last identifier of the chain).
+  std::string qualifier;  // "Class" for an explicit Class::callee, else "".
+  bool member = false;    // obj.callee / obj->callee.
+  int line = 0;
+  std::vector<std::string> held;  // Canonical lock names held at the call.
+  bool discarded = false;         // Statement-position call, result unused.
+};
+
+struct AcquireSite {
+  std::string lock;                      // Canonical name.
+  std::vector<std::string> held_before;  // Canonical names held when acquired.
+  int line = 0;
+};
+
+struct SinkSite {
+  std::string what;               // "fsync", "std::cout", ...
+  int line = 0;
+  std::vector<std::string> held;  // Canonical lock names held at the sink.
+};
+
+struct GuardedViolation {
+  std::string field;
+  std::string guard;  // The raw lock text that should have been held.
+  int line = 0;
+};
+
+struct FunctionSem {
+  FunctionSig sig;
+  std::vector<CallSite> calls;
+  std::vector<AcquireSite> acquires;
+  std::vector<SinkSite> sinks;
+};
+
+struct FileSemantics {
+  std::string path;
+  std::vector<GuardedField> guarded;     // From this file and its companion.
+  std::vector<FunctionSem> functions;    // One per definition.
+  std::vector<FunctionSig> declarations; // Body-less signatures (headers).
+  std::vector<GuardedViolation> guarded_violations;
+};
+
+// `companion`/`companion_ast` are the same-stem header of a .cc (null if
+// none): it contributes GUARDED_BY fields and REQUIRES declarations.
+FileSemantics BuildSemantics(const FileScan& scan, const AstFile& ast,
+                             const FileScan* companion, const AstFile* companion_ast);
+
+// True if `name` called bare (or std::/::-qualified, but not as a member) is
+// a blocking primitive: file IO, fsync, sleep, system.
+bool IsBlockingCall(const std::string& name);
+
+}  // namespace raslint
+}  // namespace ras
+
+#endif  // RAS_TOOLS_RASLINT_SYMBOLS_H_
