@@ -70,6 +70,10 @@ void SummarizeReuse(SolveStats& stats) {
   stats.solve_skipped = stats.phase1.ran && stats.phase1.solve_skipped &&
                         (!stats.phase2.ran || stats.phase2.solve_skipped);
   stats.delta_servers = stats.phase1.delta_servers;
+  stats.dual_resolves = stats.phase1.dual_resolves + stats.phase2.dual_resolves;
+  stats.dual_iterations = stats.phase1.dual_iterations + stats.phase2.dual_iterations;
+  stats.presolve_rows_removed =
+      stats.phase1.presolve_rows_removed + stats.phase2.presolve_rows_removed;
 }
 
 // Metrics recorded once per completed solve (any mode, monolithic or
@@ -86,6 +90,12 @@ void RecordSolveMetrics(const SolveStats& stats) {
       reg.counter("ras_solver_solves_skipped_total", "Rounds served by the skip-solve fast path.");
   static obs::Counter& moves =
       reg.counter("ras_solver_moves_total", "Server moves proposed by completed solves.");
+  static obs::Counter& dual_resolves = reg.counter(
+      "ras_solver_dual_resolves_total", "Node LPs re-optimized by the dual simplex kernel.");
+  static obs::Counter& dual_iterations = reg.counter(
+      "ras_solver_dual_iterations_total", "Dual simplex pivots across completed solves.");
+  static obs::Counter& presolve_rows = reg.counter(
+      "ras_solver_presolve_rows_removed_total", "Rows removed by LP presolve across solves.");
   static obs::Histogram& seconds = reg.histogram(
       "ras_solver_solve_seconds", "End-to-end solve wall time.", 0.0, 30.0, 120);
   static obs::Histogram& delta = reg.histogram(
@@ -102,6 +112,9 @@ void RecordSolveMetrics(const SolveStats& stats) {
     skipped.Add();
   }
   moves.Add(static_cast<int64_t>(stats.moves_total));
+  dual_resolves.Add(stats.dual_resolves);
+  dual_iterations.Add(stats.dual_iterations);
+  presolve_rows.Add(stats.presolve_rows_removed);
   seconds.Observe(stats.total_seconds);
   if (stats.delta_servers >= 0) {
     delta.Observe(static_cast<double>(stats.delta_servers));
@@ -211,6 +224,10 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
       LocalSearchOptions polish;
       polish.time_limit_seconds = std::min(1.0, mip_options.time_limit_seconds * 0.1);
       polish.seed = 17;
+      // The greedy start is already move-minimal; cap the rejected-proposal
+      // patience so a polish with nothing to find exits in ~ms instead of
+      // grinding its full proposal budget (identical knob on every pipeline).
+      polish.stall_limit = config_.polish_stall_limit;
       counts = LocalSearchOptimize(input, classes, built, counts, polish).counts;
     }
     std::vector<double> warm = MakeWarmStart(input, classes, built, counts);
@@ -244,12 +261,21 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
       // refactorization and a few pivots. When the bound does not prune, the
       // probe is discarded and the MIP below runs exactly as if cold. Serial
       // solves only: the parallel search runs its heuristic before the root
-      // prune, so its pruned outcome is not the plain warm incumbent.
+      // prune, so its pruned outcome is not the plain warm incumbent. Gated
+      // on the cached round's own gap: when last round's incumbent already
+      // sat far above its LP bound (the structural integer-ceil regime), this
+      // round's root bound cannot prune either — the probe would be a wasted
+      // refactorization every round.
       if (patched && effective_threads == 1 && !entry->root_basis.empty() &&
+          entry->objective - entry->best_bound <= 2 * gap &&
           built.model.IsFeasible(warm, mip_options.integrality_tol * 10)) {
         SimplexSolver probe{LpOptions()};
         if (probe.ImportBasis(built.model, entry->root_basis)) {
           LpResult root = probe.ResolveWithBasis(built.model, {});
+          outcome.stats.dual_iterations += root.dual_iterations;
+          if (root.used_dual_simplex) {
+            ++outcome.stats.dual_resolves;
+          }
           if (root.status == LpStatus::kOptimal && root.objective > warm_obj - gap) {
             solution = &warm;
             new_root_basis = probe.ExportBasis();
@@ -279,6 +305,9 @@ AsyncSolver::PhaseOutcome AsyncSolver::RunPhase(const SolveInput& input,
         outcome.stats.mip_status = mip.status;
         outcome.stats.nodes = mip.nodes;
         outcome.stats.basis_reused = mip.root_basis_used;
+        outcome.stats.dual_resolves += mip.dual_resolves;
+        outcome.stats.dual_iterations += mip.lp_dual_iterations;
+        outcome.stats.presolve_rows_removed += mip.presolve_rows_removed;
         new_root_basis = std::move(mip.root_basis);
         if (mip.status == MipStatus::kOptimal || mip.status == MipStatus::kFeasible) {
           local_solution = std::move(mip.x);

@@ -70,6 +70,12 @@ struct PhaseStats {
   bool basis_reused = false;
   bool solve_skipped = false;
   int delta_servers = -1;
+  // Solver-layer re-optimization telemetry (presolve + dual simplex), summed
+  // over every LP the phase ran: node LPs served by the dual kernel, the
+  // dual pivots they took, and rows presolve removed from cold solves.
+  int64_t dual_resolves = 0;
+  int64_t dual_iterations = 0;
+  int64_t presolve_rows_removed = 0;
 };
 
 struct SolveStats {
@@ -96,6 +102,10 @@ struct SolveStats {
   bool basis_reused = false;
   bool solve_skipped = false;
   int delta_servers = -1;
+  // Solver-layer re-optimization totals summed across phases (and shards).
+  int64_t dual_resolves = 0;
+  int64_t dual_iterations = 0;
+  int64_t presolve_rows_removed = 0;
 };
 
 class AsyncSolver {

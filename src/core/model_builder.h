@@ -120,6 +120,14 @@ struct SolverConfig {
   // over this knob.
   int solver_threads = 1;
 
+  // Rejected-proposal patience for the local-search polish of the greedy
+  // warm start (LocalSearchOptions::stall_limit). The greedy start is
+  // already move-minimal in the RAS cost structure, so polish acceptance is
+  // rare; the library default (150k proposals) burns tens of milliseconds
+  // per phase re-proving that. Applied identically to every pipeline (cold
+  // and incremental), so it shifts timings, never parity.
+  int64_t polish_stall_limit = 4000;
+
   MipOptions phase1_mip;
   MipOptions phase2_mip;
 
@@ -135,6 +143,12 @@ struct SolverConfig {
     // pruning at this tolerance saves most of the branch-and-bound tail.
     phase1_mip.absolute_gap = move_cost_idle / 2;
     phase2_mip.absolute_gap = move_cost_idle / 2;
+    // stall_node_limit stays at the library default (0 = disabled): the RAS
+    // LP relaxation keeps a structural integer-ceil gap (the tau-weighted
+    // buffer terms) to any incumbent, so an aggressive stall cutoff can
+    // freeze a mid-quality incumbent that more patience would improve.
+    // Latency-sensitive callers (the round-resolve bench) opt in per config,
+    // setting it identically on both pipelines so targets stay comparable.
   }
 };
 

@@ -37,6 +37,9 @@ void AccumulatePhase(PhaseStats& into, const PhaseStats& from) {
   into.best_bound += from.best_bound;
   into.warm_start_objective += from.warm_start_objective;
   into.nodes += from.nodes;
+  into.dual_resolves += from.dual_resolves;
+  into.dual_iterations += from.dual_iterations;
+  into.presolve_rows_removed += from.presolve_rows_removed;
   // Reuse telemetry: the aggregate claims reuse only when every shard reused
   // that way; deltas sum, with any cold shard (-1) making the total unknown.
   if (into.ran) {

@@ -184,12 +184,18 @@ MipResult MipSolver::Solve(const Model& model, const std::vector<double>* warm_s
       reg.counter("ras_mip_root_basis_used_total", "Runs that imported a cached root basis.");
   static obs::Counter& time_limit =
       reg.counter("ras_mip_time_limit_hits_total", "Runs cut off by their time limit.");
+  static obs::Counter& dual_resolves = reg.counter(
+      "ras_mip_dual_resolves_total", "Node LPs re-optimized by the dual simplex kernel.");
+  static obs::Counter& presolve_rows = reg.counter(
+      "ras_mip_presolve_rows_removed_total", "Rows removed by presolve across node LPs.");
   static obs::Histogram& seconds =
       reg.histogram("ras_mip_solve_seconds", "Wall time of one branch-and-bound run.", 0.0, 30.0,
                     120);
   solves.Add();
   nodes.Add(result.nodes);
   lp_iterations.Add(result.lp_iterations);
+  dual_resolves.Add(result.dual_resolves);
+  presolve_rows.Add(result.presolve_rows_removed);
   if (result.root_basis_used) {
     root_basis.Add();
   }
@@ -235,10 +241,17 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
   double best_open_bound = -kInf;  // Root LP bound once known.
   bool root_solved = false;
   bool unbounded = false;
+  int64_t nodes_since_improve = 0;
 
   while (!open.empty()) {
     if (result.nodes >= options_.max_nodes || elapsed() > options_.time_limit_seconds) {
       result.hit_time_limit = elapsed() > options_.time_limit_seconds;
+      break;
+    }
+    // Stall patience: with an incumbent in hand and a long run of nodes that
+    // failed to improve it, stop searching instead of draining max_nodes.
+    if (options_.stall_node_limit > 0 && have_incumbent &&
+        nodes_since_improve >= options_.stall_node_limit) {
       break;
     }
     Node node = std::move(open.back());
@@ -250,6 +263,7 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
     }
 
     ++result.nodes;
+    ++nodes_since_improve;
     // Children differ from their parent by one bound; reuse the last basis.
     // A seeded root also goes through the warm path (the imported basis is
     // exactly "the last basis").
@@ -257,6 +271,11 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
                       ? lp_solver.Solve(model, node.overrides)
                       : lp_solver.ResolveWithBasis(model, node.overrides);
     result.lp_iterations += lp.iterations;
+    result.lp_dual_iterations += lp.dual_iterations;
+    result.presolve_rows_removed += lp.presolve_rows_removed;
+    if (lp.used_dual_simplex) {
+      ++result.dual_resolves;
+    }
     if (lp.status == LpStatus::kInfeasible) {
       continue;
     }
@@ -292,6 +311,7 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
         }
         incumbent_obj = model.Objective(incumbent);
         have_incumbent = true;
+        nodes_since_improve = 0;
       }
       continue;
     }
@@ -310,6 +330,7 @@ MipResult MipSolver::SolveSerial(const Model& model, const std::vector<double>* 
           incumbent = std::move(rounded);
           incumbent_obj = obj;
           have_incumbent = true;
+          nodes_since_improve = 0;
         }
       }
     }
@@ -394,6 +415,10 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
     bool hit_time_limit GUARDED_BY(mu) = false;
     int64_t nodes GUARDED_BY(mu) = 0;
     int64_t lp_iterations GUARDED_BY(mu) = 0;
+    int64_t lp_dual_iterations GUARDED_BY(mu) = 0;
+    int64_t dual_resolves GUARDED_BY(mu) = 0;
+    int64_t presolve_rows_removed GUARDED_BY(mu) = 0;
+    int64_t nodes_since_improve GUARDED_BY(mu) = 0;
     bool have_incumbent GUARDED_BY(mu) = false;
     std::vector<double> incumbent GUARDED_BY(mu);
     double incumbent_obj GUARDED_BY(mu) = kInf;
@@ -445,6 +470,14 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
         sh.cv.NotifyAll();
         break;
       }
+      // Stall patience (same semantics as the serial search, best-effort
+      // across workers: in-flight nodes may still land an improvement).
+      if (options_.stall_node_limit > 0 && sh.have_incumbent &&
+          sh.nodes_since_improve >= options_.stall_node_limit) {
+        sh.stop = true;
+        sh.cv.NotifyAll();
+        break;
+      }
       Node node = std::move(sh.open.back());
       sh.open.pop_back();
 
@@ -453,6 +486,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
         continue;
       }
       ++sh.nodes;
+      ++sh.nodes_since_improve;
       int64_t node_id = sh.nodes;
       ++sh.busy;
       sh.mu.Unlock();
@@ -483,6 +517,11 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
       sh.mu.Lock();
       --sh.busy;
       sh.lp_iterations += lp.iterations;
+      sh.lp_dual_iterations += lp.dual_iterations;
+      sh.presolve_rows_removed += lp.presolve_rows_removed;
+      if (lp.used_dual_simplex) {
+        ++sh.dual_resolves;
+      }
       if (lp.status == LpStatus::kUnbounded) {
         sh.unbounded = true;
         sh.stop = true;
@@ -506,6 +545,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
           sh.incumbent = std::move(candidate);
           sh.incumbent_obj = obj;
           sh.have_incumbent = true;
+          sh.nodes_since_improve = 0;
         }
       }
       if (sh.have_incumbent && lp.objective > sh.incumbent_obj - options_.absolute_gap) {
@@ -525,6 +565,7 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
           sh.incumbent = std::move(point);
           sh.incumbent_obj = obj;
           sh.have_incumbent = true;
+          sh.nodes_since_improve = 0;
         }
         sh.cv.NotifyAll();
         continue;
@@ -565,6 +606,9 @@ MipResult MipSolver::SolveParallel(const Model& model, const std::vector<double>
   result.best_bound = -kInf;
   result.nodes = sh.nodes;
   result.lp_iterations = sh.lp_iterations;
+  result.lp_dual_iterations = sh.lp_dual_iterations;
+  result.dual_resolves = sh.dual_resolves;
+  result.presolve_rows_removed = sh.presolve_rows_removed;
   result.hit_time_limit = sh.hit_time_limit;
   result.solve_seconds = elapsed();
   result.root_basis = std::move(sh.root_basis);

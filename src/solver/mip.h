@@ -61,6 +61,12 @@ struct MipOptions {
   // basis. A basis that fails to import (shape mismatch, singular against
   // the current model) is ignored and the solve proceeds cold.
   SimplexBasis root_basis;
+  // Stop the search once this many consecutive nodes have been explored
+  // without improving the incumbent, provided an incumbent exists. The RAS
+  // models sit in a regime where the LP relaxation keeps a structural
+  // integer-ceil gap to any incumbent, so unlimited patience burns the whole
+  // node budget proving nothing; a bounded stall cuts that tail. 0 disables.
+  int64_t stall_node_limit = 0;
 };
 
 struct MipResult {
@@ -80,6 +86,12 @@ struct MipResult {
   // Whether MipOptions::root_basis was successfully imported by at least one
   // node-chain solver.
   bool root_basis_used = false;
+  // Solver-layer re-optimization telemetry summed over every node LP: warm
+  // resolves served by the dual simplex kernel, the dual pivots they took,
+  // and rows presolve removed from cold solves.
+  int64_t dual_resolves = 0;
+  int64_t lp_dual_iterations = 0;
+  int64_t presolve_rows_removed = 0;
 
   double gap() const { return objective - best_bound; }
 };

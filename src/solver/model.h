@@ -76,9 +76,26 @@ class Model {
   // operations as the Set* calls above but carry an API contract: they never
   // touch the constraint matrix, so the cached column-major form (see
   // EnsureCompressedCache) stays valid across any number of them. The model
-  // patcher (PatchRasModel) uses only these between rounds.
-  void UpdateVariableBounds(VarId var, double lb, double ub) { SetVariableBounds(var, lb, ub); }
-  void UpdateRowBounds(RowId row, double lb, double ub) { SetRowBounds(row, lb, ub); }
+  // patcher (PatchRasModel) uses only these between rounds. Unlike the Set*
+  // calls (which assert), a crossed range (lb > ub) is rejected — the model
+  // is left untouched and false is returned — so a bad patch from corrupted
+  // round input cannot poison the cached model.
+  bool UpdateVariableBounds(VarId var, double lb, double ub) {
+    if (lb > ub) {
+      return false;
+    }
+    variables_[var].lb = lb;
+    variables_[var].ub = ub;
+    return true;
+  }
+  bool UpdateRowBounds(RowId row, double lb, double ub) {
+    if (lb > ub) {
+      return false;
+    }
+    rows_[row].lb = lb;
+    rows_[row].ub = ub;
+    return true;
+  }
   void UpdateObjectiveCost(VarId var, double cost) { SetObjectiveCost(var, cost); }
 
   size_t num_variables() const { return variables_.size(); }

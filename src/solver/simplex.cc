@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/obs/metrics.h"
+#include "src/solver/presolve.h"
 
 namespace ras {
 namespace {
@@ -20,9 +21,20 @@ void RecordLpMetrics(const LpResult& result) {
       reg.counter("ras_simplex_iterations_total", "Simplex pivots across all solves.");
   static obs::Counter& refactorizations = reg.counter(
       "ras_simplex_refactorizations_total", "Basis inverse rebuilds across all solves.");
+  static obs::Counter& dual_resolves = reg.counter(
+      "ras_simplex_dual_resolves_total", "Warm resolves served by the dual simplex kernel.");
+  static obs::Counter& dual_iterations =
+      reg.counter("ras_simplex_dual_iterations_total", "Dual simplex pivots across all solves.");
+  static obs::Counter& presolve_rows = reg.counter(
+      "ras_simplex_presolve_rows_removed_total", "Rows removed by presolve across cold solves.");
   solves.Add();
   iterations.Add(result.iterations);
   refactorizations.Add(result.refactorizations);
+  if (result.used_dual_simplex) {
+    dual_resolves.Add();
+  }
+  dual_iterations.Add(result.dual_iterations);
+  presolve_rows.Add(result.presolve_rows_removed);
 }
 
 }  // namespace
@@ -171,6 +183,7 @@ bool SimplexSolver::Refactorize() {
     }
   }
   binv_ = std::move(inv);
+  etas_since_refactor_ = 0;
   return true;
 }
 
@@ -264,6 +277,68 @@ void SimplexSolver::RefreshBounds(const Model& model, const std::vector<BoundOve
 }
 
 LpResult SimplexSolver::Solve(const Model& model, const std::vector<BoundOverride>& overrides) {
+  LpResult result;
+  bool solved = false;
+  if (options_.presolve && model.num_rows() > 0) {
+    PresolveOptions popts;
+    PresolvedLp pre;
+    if (pre.Reduce(model, overrides, popts)) {
+      if (pre.stats().infeasible) {
+        // An exact reduction (empty-row range check, crossed bounds after a
+        // fold) proved infeasibility without a single pivot.
+        basis_valid_ = false;
+        result.status = LpStatus::kInfeasible;
+        result.presolve_rows_removed = pre.stats().rows_removed;
+        result.presolve_vars_removed = pre.stats().vars_removed;
+        solved = true;
+      } else {
+        LpResult reduced = SolveDirect(pre.reduced(), {});
+        if (reduced.status == LpStatus::kInfeasible || reduced.status == LpStatus::kUnbounded) {
+          // Every reduction is feasibility- and boundedness-preserving in both
+          // directions, so the reduced verdict transfers to the full model.
+          basis_valid_ = false;
+          result = reduced;
+          result.x.clear();
+          result.duals.clear();
+          result.presolve_rows_removed = pre.stats().rows_removed;
+          result.presolve_vars_removed = pre.stats().vars_removed;
+          solved = true;
+        } else if (reduced.status == LpStatus::kOptimal) {
+          // Postsolve the reduced basis onto the full model and let the
+          // primal loop verify it (typically zero pivots plus one clean
+          // refactorization); it also produces the full-length x and duals.
+          SimplexBasis full_basis = pre.RestoreBasis(ExportBasis());
+          if (ImportBasisInternal(model, full_basis, overrides)) {
+            LpResult verified = RunSimplex(model);
+            if (verified.status == LpStatus::kOptimal) {
+              verified.iterations += reduced.iterations;
+              verified.refactorizations += reduced.refactorizations;
+              verified.adaptive_refactorizations += reduced.adaptive_refactorizations;
+              verified.eta_nonzeros += reduced.eta_nonzeros;
+              verified.full_pricing_scans += reduced.full_pricing_scans;
+              verified.presolve_rows_removed = pre.stats().rows_removed;
+              verified.presolve_vars_removed = pre.stats().vars_removed;
+              result = std::move(verified);
+              solved = true;
+            } else {
+              basis_valid_ = false;  // Fall through to the plain cold solve.
+            }
+          }
+        }
+        // Iteration-limit / numerical verdicts on the reduction fall through
+        // to the plain cold path rather than guessing.
+      }
+    }
+  }
+  if (!solved) {
+    result = SolveDirect(model, overrides);
+  }
+  RecordLpMetrics(result);
+  return result;
+}
+
+LpResult SimplexSolver::SolveDirect(const Model& model,
+                                    const std::vector<BoundOverride>& overrides) {
   basis_valid_ = false;
   BuildColumns(model, overrides);
   // Reject empty-range variables early (branching can create lb > ub).
@@ -282,7 +357,6 @@ LpResult SimplexSolver::Solve(const Model& model, const std::vector<BoundOverrid
     prepared_vars_ = model.num_variables();
     prepared_nonzeros_ = model.num_nonzeros();
   }
-  RecordLpMetrics(result);
   return result;
 }
 
@@ -333,7 +407,29 @@ LpResult SimplexSolver::ResolveWithBasis(const Model& model,
     }
   }
   ComputeBasicValues();
+  // Dual warm re-solve: a bound/RHS-only change leaves the old optimal basis
+  // dual-feasible (costs did not move, so neither did the duals), and the
+  // dual kernel restores primal feasibility in a handful of pivots instead of
+  // the primal phase-1/phase-2 grind. The primal loop below still runs as the
+  // verifier — from a dual-optimal basis it terminates after one full pricing
+  // scan — so a dual-side stall or budget exhaustion costs nothing but the
+  // pivots already taken.
+  LpResult dual_accum;
+  bool used_dual = false;
+  if (options_.dual_resolve && TotalInfeasibility() > options_.feasibility_tol &&
+      DualFeasibleBasis(options_.optimality_tol)) {
+    used_dual = true;
+    if (!RunDualSimplex(&dual_accum)) {
+      // Basis inverse broke down mid-flight: rebuild from scratch.
+      return Solve(model, overrides);
+    }
+  }
   LpResult result = RunSimplex(model);
+  result.used_dual_simplex = used_dual;
+  result.dual_iterations += dual_accum.dual_iterations;
+  result.refactorizations += dual_accum.refactorizations;
+  result.adaptive_refactorizations += dual_accum.adaptive_refactorizations;
+  result.eta_nonzeros += dual_accum.eta_nonzeros;
   basis_valid_ = result.status == LpStatus::kOptimal;
   RecordLpMetrics(result);
   return result;
@@ -356,12 +452,17 @@ SimplexBasis SimplexSolver::ExportBasis() const {
 }
 
 bool SimplexSolver::ImportBasis(const Model& model, const SimplexBasis& basis) {
+  return ImportBasisInternal(model, basis, {});
+}
+
+bool SimplexSolver::ImportBasisInternal(const Model& model, const SimplexBasis& basis,
+                                        const std::vector<BoundOverride>& overrides) {
   basis_valid_ = false;
   if (basis.empty() || basis.rows != model.num_rows() || basis.vars != model.num_variables() ||
       basis.nonzeros != model.num_nonzeros()) {
     return false;
   }
-  BuildColumns(model, {});
+  BuildColumns(model, overrides);
   if (basis.basic.size() != static_cast<size_t>(m_) ||
       basis.status.size() != static_cast<size_t>(total_)) {
     return false;
@@ -423,6 +524,236 @@ bool SimplexSolver::ImportBasis(const Model& model, const SimplexBasis& basis) {
   prepared_vars_ = model.num_variables();
   prepared_nonzeros_ = model.num_nonzeros();
   return true;
+}
+
+bool SimplexSolver::DualFeasibleBasis(double tol) const {
+  // y = cB^T B^-1 with the TRUE costs (row-axpy skipping zero basic costs).
+  std::vector<double> y(m_, 0.0);
+  for (int32_t pos = 0; pos < m_; ++pos) {
+    double c = cost_[basis_[pos]];
+    if (c == 0.0) {
+      continue;
+    }
+    const double* row = &binv_[static_cast<size_t>(pos) * m_];
+    for (int32_t i = 0; i < m_; ++i) {
+      y[i] += c * row[i];
+    }
+  }
+  for (int32_t j = 0; j < total_; ++j) {
+    if (status_[j] == ColStatus::kBasic || lb_[j] == ub_[j]) {
+      continue;  // Fixed columns cannot move: any reduced-cost sign is fine.
+    }
+    double yaj;
+    if (j >= n_) {
+      yaj = -y[j - n_];
+    } else {
+      yaj = 0.0;
+      for (int32_t k = csc_starts_[j]; k < csc_starts_[j + 1]; ++k) {
+        yaj += y[csc_rows_[k]] * csc_values_[k];
+      }
+    }
+    double d = cost_[j] - yaj;
+    switch (status_[j]) {
+      case ColStatus::kAtLower:
+        if (d < -tol) {
+          return false;
+        }
+        break;
+      case ColStatus::kAtUpper:
+        if (d > tol) {
+          return false;
+        }
+        break;
+      case ColStatus::kFree:
+        if (std::fabs(d) > tol) {
+          return false;
+        }
+        break;
+      case ColStatus::kBasic:
+        break;
+    }
+  }
+  return true;
+}
+
+// RASLINT-HOT: the dual simplex pivot loop — nothing here may block.
+bool SimplexSolver::RunDualSimplex(LpResult* accum) {
+  const double ftol = options_.feasibility_tol;
+  const double ptol = std::max(options_.pivot_tol, 1e-10);
+  // A bound-only patch perturbs few basic values, so primal feasibility is a
+  // few pivots away; a conservative budget keeps a degenerate tail from ever
+  // costing more than the cold solve the caller would otherwise run.
+  const int64_t max_iters = 50 + 2LL * m_;
+
+  std::vector<double> y(m_);
+  std::vector<double> alpha_col(m_);
+  std::vector<int32_t> alpha_nz;
+  alpha_nz.reserve(m_);
+  int pivots_since_refactor = 0;
+  double eta_fill = 0.0;
+
+  for (int64_t iter = 0; iter < max_iters; ++iter) {
+    // --- Leaving: the most primal-violated basic position. ---
+    int32_t leaving_pos = -1;
+    double worst = ftol;
+    bool above = false;
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      int32_t col = basis_[pos];
+      double x = value_[col];
+      if (lb_[col] - x > worst) {
+        worst = lb_[col] - x;
+        leaving_pos = pos;
+        above = false;
+      }
+      if (x - ub_[col] > worst) {
+        worst = x - ub_[col];
+        leaving_pos = pos;
+        above = true;
+      }
+    }
+    if (leaving_pos < 0) {
+      return true;  // Primal feasible: the primal verifier finishes from here.
+    }
+    ++accum->dual_iterations;
+
+    // The BTRAN row for the leaving position is a row of the dense inverse —
+    // free with an explicit B^-1. Reduced costs are re-priced from scratch
+    // each pivot (same row-axpy as the primal loop) rather than updated
+    // incrementally; at this iteration budget, exactness beats bookkeeping.
+    const double* rho_row = &binv_[static_cast<size_t>(leaving_pos) * m_];
+    std::fill(y.begin(), y.end(), 0.0);
+    for (int32_t pos = 0; pos < m_; ++pos) {
+      double c = cost_[basis_[pos]];
+      if (c == 0.0) {
+        continue;
+      }
+      const double* row = &binv_[static_cast<size_t>(pos) * m_];
+      for (int32_t i = 0; i < m_; ++i) {
+        y[i] += c * row[i];
+      }
+    }
+
+    // --- Bounded-variable dual ratio test. The leaving variable moves to its
+    // violated bound; entering j must move the right way, which fixes the
+    // sign of alpha_rj per status. Min |d_j / alpha_rj| keeps every other
+    // reduced cost on the legal side; ties prefer the larger pivot. ---
+    int32_t entering = -1;
+    double best_ratio = kInf;
+    double best_mag = 0.0;
+    for (int32_t j = 0; j < total_; ++j) {
+      if (status_[j] == ColStatus::kBasic || lb_[j] == ub_[j]) {
+        continue;
+      }
+      double arj;
+      double yaj;
+      if (j >= n_) {
+        arj = -rho_row[j - n_];
+        yaj = -y[j - n_];
+      } else {
+        arj = 0.0;
+        yaj = 0.0;
+        for (int32_t k = csc_starts_[j]; k < csc_starts_[j + 1]; ++k) {
+          int32_t r = csc_rows_[k];
+          double v = csc_values_[k];
+          arj += rho_row[r] * v;
+          yaj += y[r] * v;
+        }
+      }
+      double a_t = above ? arj : -arj;
+      bool eligible = (status_[j] == ColStatus::kAtLower && a_t > ptol) ||
+                      (status_[j] == ColStatus::kAtUpper && a_t < -ptol) ||
+                      (status_[j] == ColStatus::kFree && std::fabs(a_t) > ptol);
+      if (!eligible) {
+        continue;
+      }
+      double ratio = (cost_[j] - yaj) / a_t;
+      if (ratio < 0.0) {
+        ratio = 0.0;  // Tolerance dust on a dual-degenerate column.
+      }
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && std::fabs(arj) > best_mag)) {
+        best_ratio = ratio;
+        best_mag = std::fabs(arj);
+        entering = j;
+      }
+    }
+    if (entering < 0) {
+      // No column can absorb the violation. Keep the basis untouched and let
+      // the primal phase 1 certify infeasibility (or finish) properly.
+      return true;
+    }
+
+    Ftran(entering, alpha_col, &alpha_nz);
+    double pivot = alpha_col[leaving_pos];
+    if (std::fabs(pivot) < ptol) {
+      // FTRAN disagrees with the BTRAN row: the inverse has drifted. Bail to
+      // the primal verifier, which starts with its own clean refactorization.
+      return true;
+    }
+
+    // --- Primal step: leaving lands exactly on its violated bound; the
+    // entering variable may overshoot its own far bound and stay basic there
+    // (the simple variant — later pivots or the verifier clean it up). ---
+    int32_t leaving_col = basis_[leaving_pos];
+    double target = above ? ub_[leaving_col] : lb_[leaving_col];
+    double delta = (value_[leaving_col] - target) / pivot;
+    for (int32_t pos : alpha_nz) {
+      value_[basis_[pos]] -= alpha_col[pos] * delta;
+    }
+    value_[entering] += delta;
+    value_[leaving_col] = target;
+
+    status_[leaving_col] = above ? ColStatus::kAtUpper : ColStatus::kAtLower;
+    basis_pos_[leaving_col] = -1;
+    basis_[leaving_pos] = entering;
+    basis_pos_[entering] = leaving_pos;
+    status_[entering] = ColStatus::kBasic;
+
+    // Product-form eta update, identical cadence to the primal loop.
+    double* pivot_row = &binv_[static_cast<size_t>(leaving_pos) * m_];
+    double inv_pivot = 1.0 / pivot;
+    for (int32_t i = 0; i < m_; ++i) {
+      pivot_row[i] *= inv_pivot;
+    }
+    for (int32_t pos : alpha_nz) {
+      if (pos == leaving_pos) {
+        continue;
+      }
+      double factor = alpha_col[pos];
+      double* row = &binv_[static_cast<size_t>(pos) * m_];
+      for (int32_t i = 0; i < m_; ++i) {
+        row[i] -= factor * pivot_row[i];
+      }
+    }
+    eta_fill += static_cast<double>(alpha_nz.size());
+    accum->eta_nonzeros += static_cast<int64_t>(alpha_nz.size());
+    ++etas_since_refactor_;
+
+    bool need_refactor = ++pivots_since_refactor >= options_.refactor_interval;
+    bool adaptive = false;
+    if (!need_refactor) {
+      if (eta_fill > options_.eta_growth_limit * static_cast<double>(m_)) {
+        need_refactor = true;
+        adaptive = true;
+      } else if (std::fabs(pivot) < options_.drift_refactor_tol * (1.0 + best_mag)) {
+        need_refactor = true;
+        adaptive = true;
+      }
+    }
+    if (need_refactor) {
+      pivots_since_refactor = 0;
+      eta_fill = 0.0;
+      ++accum->refactorizations;
+      if (adaptive) {
+        ++accum->adaptive_refactorizations;
+      }
+      if (!Refactorize()) {
+        return false;  // Caller falls back to a cold solve.
+      }
+      ComputeBasicValues();
+    }
+  }
+  return true;  // Budget exhausted; the primal verifier finishes the job.
 }
 
 // RASLINT-HOT: the simplex inner iteration — nothing here may block.
@@ -795,6 +1126,7 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
       eta_fill += static_cast<double>(touched + 1);
       result.eta_nonzeros += touched + 1;
     }
+    ++etas_since_refactor_;
 
     bool need_refactor = ++pivots_since_refactor >= options_.refactor_interval;
     bool adaptive = false;
@@ -834,18 +1166,28 @@ LpResult SimplexSolver::RunSimplex(const Model& model) {
   }
 
   // Clean pass: refactorize and recompute values to wash out inverse drift,
-  // then verify primal feasibility of the claimed optimum.
-  ++result.refactorizations;
-  if (!Refactorize()) {
-    result.status = LpStatus::kNumericalFailure;
-    result.iterations = iter;
-    return result;
-  }
-  ComputeBasicValues();
-  if (TotalInfeasibility() > 1e-5) {
-    result.status = LpStatus::kNumericalFailure;
-    result.iterations = iter;
-    return result;
+  // then verify primal feasibility of the claimed optimum. A warm re-solve
+  // that took only a handful of pivots since the last rebuild carries
+  // negligible drift — far under what the in-loop adaptive cadence tolerates
+  // between rebuilds — so the O(m^3) refactorization is skipped when the
+  // feasibility check already passes on the current inverse. This is what
+  // keeps a one-pivot dual re-solve cheaper than the model rebuild it avoids.
+  bool clean = options_.clean_pass_eta_limit > 0 &&
+               etas_since_refactor_ <= options_.clean_pass_eta_limit &&
+               TotalInfeasibility() <= 1e-5;
+  if (!clean) {
+    ++result.refactorizations;
+    if (!Refactorize()) {
+      result.status = LpStatus::kNumericalFailure;
+      result.iterations = iter;
+      return result;
+    }
+    ComputeBasicValues();
+    if (TotalInfeasibility() > 1e-5) {
+      result.status = LpStatus::kNumericalFailure;
+      result.iterations = iter;
+      return result;
+    }
   }
 
   result.status = LpStatus::kOptimal;

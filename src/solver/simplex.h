@@ -62,6 +62,31 @@ struct LpOptions {
   // drift_refactor_tol relative to its column, a numerical-drift red flag.
   double eta_growth_limit = 8.0;
   double drift_refactor_tol = 1e-8;
+  // The optimality clean pass rebuilds the inverse to wash out eta drift
+  // before declaring the optimum. A warm re-solve that took at most this many
+  // pivots since the last rebuild skips the O(m^3) refactorization — the same
+  // drift budget the in-loop adaptive cadence prices dozens of pivots through
+  // — provided the feasibility check passes on the current inverse (when it
+  // does not, the full clean pass runs after all). 0 restores the
+  // unconditional rebuild.
+  int clean_pass_eta_limit = 8;
+
+  // Dual simplex warm re-solve: when ResolveWithBasis holds a basis that is
+  // still dual-feasible under the current costs (exactly the case after a
+  // bound/RHS-only model patch or a branch-and-bound bound change — the
+  // costs, and therefore the duals, did not move), re-optimize with dual
+  // pivots from that basis instead of driving the primal phase-1/phase-2
+  // machinery from scratch. The primal loop still runs afterwards as the
+  // optimality verifier, so this is purely an accelerator: any dual-side
+  // stall or numerical doubt falls through to the unchanged primal path.
+  bool dual_resolve = true;
+
+  // Presolve on cold solves: reduce the model (fixed variables, empty rows,
+  // singleton-row bound folds, conservative bound tightening), solve the
+  // reduction, and postsolve the basis back onto the full model, where the
+  // primal loop verifies it. Falls back to the plain cold path whenever no
+  // reduction applies or the postsolved basis fails to import.
+  bool presolve = true;
 };
 
 struct LpResult {
@@ -83,6 +108,14 @@ struct LpResult {
   // Full Dantzig pricing scans (every iteration on the dense path; only
   // refresh/verification scans under partial pricing).
   int64_t full_pricing_scans = 0;
+  // Dual simplex warm re-solve (LpOptions::dual_resolve): pivots taken by the
+  // dual kernel before the primal verifier ran, and whether it ran at all.
+  int64_t dual_iterations = 0;
+  bool used_dual_simplex = false;
+  // Presolve accounting (LpOptions::presolve; zero when the reduction did not
+  // apply): rows and variables removed from the model the iterations ran on.
+  int32_t presolve_rows_removed = 0;
+  int32_t presolve_vars_removed = 0;
 };
 
 // Overrides for variable bounds, used by branch-and-bound to tighten integer
@@ -159,6 +192,28 @@ class SimplexSolver {
 
   LpResult RunSimplex(const Model& model);
 
+  // ImportBasis over a model viewed through bound overrides (the presolve
+  // postsolve path re-imports under the same overrides the solve ran with).
+  bool ImportBasisInternal(const Model& model, const SimplexBasis& basis,
+                           const std::vector<BoundOverride>& overrides);
+  // Cold solve without the presolve reduction (the presolve path's fallback
+  // and the reduced model's inner solve both use it).
+  LpResult SolveDirect(const Model& model, const std::vector<BoundOverride>& overrides);
+
+  // True when every nonbasic column's reduced cost, priced with the true
+  // objective, has the sign its status requires (within tol): the retained
+  // basis can be re-optimized with dual pivots.
+  bool DualFeasibleBasis(double tol) const;
+  // Bounded-variable dual simplex from the current (dual-feasible) basis:
+  // picks the most-violated basic variable, prices its BTRAN row against all
+  // nonbasic columns with the dual ratio test, and pivots until primal
+  // feasibility or a conservative iteration budget. Counters accumulate into
+  // `accum`. Returns false only when the basis inverse broke down
+  // mid-flight (the caller must fall back to a cold solve); early exits for
+  // budget/stall reasons return true and leave a valid basis for the primal
+  // verifier to finish from.
+  bool RunDualSimplex(LpResult* accum);
+
   LpOptions options_;
 
   // Problem dimensions: m_ rows, n_ structural columns, total_ = n_ + m_.
@@ -181,6 +236,10 @@ class SimplexSolver {
   std::vector<int32_t> basis_pos_;  // Column -> row position (or -1).
   std::vector<double> value_;       // Current value per column.
   std::vector<double> binv_;        // Dense m_ x m_ row-major basis inverse.
+  // Product-form eta updates applied to binv_ since its last full rebuild
+  // (across calls — a warm resolve inherits the previous solve's drift).
+  // Drives the clean-pass skip (LpOptions::clean_pass_eta_limit).
+  int64_t etas_since_refactor_ = 0;
 
   // Warm-start validity: set after a successful solve; identifies the model
   // shape the retained basis belongs to.

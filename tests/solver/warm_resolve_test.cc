@@ -254,5 +254,110 @@ TEST(WarmResolveTest, ChainOfResolves) {
   }
 }
 
+TEST(WarmResolveTest, DualSimplexResolveMatchesFreshPrimalFieldForField) {
+  // The PatchRasModel shape: solve, mutate row bounds in place (costs
+  // untouched, so the optimal basis stays dual-feasible), warm-resolve. The
+  // dual kernel must run, take pivots, and land on exactly the answer a
+  // fresh primal solve of the patched model produces — status, objective,
+  // every primal value, every dual.
+  int dual_ran = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> ref;
+    Model m = RandomLp(9100 + static_cast<uint64_t>(trial), 12, 8, &ref);
+    SimplexSolver warm_solver;
+    ASSERT_EQ(warm_solver.Solve(m).status, LpStatus::kOptimal);
+
+    // Shift every row's range toward a different interior point: enough
+    // movement to knock basic slacks out of bounds (forcing actual dual
+    // pivots) while keeping the reference point feasible.
+    Rng rng(9200 + static_cast<uint64_t>(trial));
+    for (size_t r = 0; r < m.num_rows(); ++r) {
+      double activity = 0.0;
+      for (const RowEntry& e : m.row_entries(r)) {
+        activity += e.coeff * ref[static_cast<size_t>(e.var)];
+      }
+      m.UpdateRowBounds(static_cast<RowId>(r), activity - rng.Uniform(0.1, 0.8),
+                        activity + rng.Uniform(0.1, 0.8));
+    }
+
+    LpResult warm = warm_solver.ResolveWithBasis(m, {});
+    SimplexSolver fresh_solver;
+    LpResult fresh = fresh_solver.Solve(m);
+    ASSERT_EQ(warm.status, fresh.status) << "trial " << trial;
+    ASSERT_EQ(warm.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, fresh.objective, 1e-5) << "trial " << trial;
+    ASSERT_EQ(warm.x.size(), fresh.x.size());
+    for (size_t j = 0; j < warm.x.size(); ++j) {
+      EXPECT_NEAR(warm.x[j], fresh.x[j], 1e-5) << "trial " << trial << " x" << j;
+    }
+    ASSERT_EQ(warm.duals.size(), fresh.duals.size());
+    for (size_t i = 0; i < warm.duals.size(); ++i) {
+      EXPECT_NEAR(warm.duals[i], fresh.duals[i], 1e-5)
+          << "trial " << trial << " dual" << i;
+    }
+    if (warm.used_dual_simplex) {
+      ++dual_ran;
+      EXPECT_GT(warm.dual_iterations, 0) << "trial " << trial;
+    }
+  }
+  // The RHS shifts must actually exercise the dual kernel, not just the
+  // primal fallback, or this test proves nothing about it.
+  EXPECT_GE(dual_ran, 10);
+}
+
+TEST(WarmResolveTest, DualSimplexDeclinedAfterCostChangeYetCorrect) {
+  // A cost change breaks dual feasibility of the retained basis, so the
+  // dual-resolve gate must decline (used_dual_simplex stays false) and the
+  // primal path must still produce the right answer.
+  std::vector<double> ref;
+  Model m = RandomLp(9300, 10, 7, &ref);
+  SimplexSolver warm_solver;
+  ASSERT_EQ(warm_solver.Solve(m).status, LpStatus::kOptimal);
+
+  Rng rng(9301);
+  for (size_t j = 0; j < m.num_variables(); ++j) {
+    m.UpdateObjectiveCost(static_cast<VarId>(j), rng.Uniform(-3, 3));
+  }
+  // Also perturb one row so the basis is primal-infeasible too — the gate
+  // must reject on dual-infeasibility even when a dual start is "needed".
+  double activity = 0.0;
+  for (const RowEntry& e : m.row_entries(0)) {
+    activity += e.coeff * ref[static_cast<size_t>(e.var)];
+  }
+  m.UpdateRowBounds(0, activity - 0.2, activity + 0.2);
+
+  LpResult warm = warm_solver.ResolveWithBasis(m, {});
+  EXPECT_FALSE(warm.used_dual_simplex);
+  EXPECT_EQ(warm.dual_iterations, 0);
+  SimplexSolver fresh;
+  LpResult cold = fresh.Solve(m);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-5);
+  EXPECT_TRUE(m.IsFeasible(warm.x, 1e-5));
+}
+
+TEST(WarmResolveTest, DualResolveDisabledByOption) {
+  // With the knob off the resolve must never enter the dual kernel, whatever
+  // the patch looks like — the pre-PR behavior, bit for bit.
+  std::vector<double> ref;
+  LpOptions options;
+  options.dual_resolve = false;
+  Model m = RandomLp(9400, 10, 7, &ref);
+  SimplexSolver solver(options);
+  ASSERT_EQ(solver.Solve(m).status, LpStatus::kOptimal);
+  for (size_t r = 0; r < m.num_rows(); ++r) {
+    double activity = 0.0;
+    for (const RowEntry& e : m.row_entries(r)) {
+      activity += e.coeff * ref[static_cast<size_t>(e.var)];
+    }
+    m.UpdateRowBounds(static_cast<RowId>(r), activity - 0.3, activity + 0.3);
+  }
+  LpResult warm = solver.ResolveWithBasis(m, {});
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_FALSE(warm.used_dual_simplex);
+  EXPECT_EQ(warm.dual_iterations, 0);
+}
+
 }  // namespace
 }  // namespace ras
